@@ -1,0 +1,37 @@
+"""Table II — speculative recovery scheduling curbs infectious node
+failures.
+
+Paper rows (Terasort, 20 reducers):
+  YARN @10/20/30%: 2/5/3 additional failures, 429/533/516 s
+  SFM  @10/20/30%: 0/0/0 additional failures, 435/449/445 s
+"""
+
+from repro.experiments import format_table, table2_spatial_recovery
+
+
+def test_table2_spatial_recovery(benchmark, report):
+    rows = benchmark.pedantic(table2_spatial_recovery, rounds=1, iterations=1)
+    paper = {
+        ("YARN", 0.1): (2, 429), ("SFM", 0.1): (0, 435),
+        ("YARN", 0.2): (5, 533), ("SFM", 0.2): (0, 449),
+        ("YARN", 0.3): (3, 516), ("SFM", 0.3): (0, 445),
+    }
+    report("Table II — spatial amplification, YARN vs SFM", format_table(
+        ["type", "first failure", "add'l failures", "exec time (s)",
+         "paper add'l", "paper time (s)"],
+        [(r.system, f"{int(r.first_failure_point*100)}%", r.additional_failures,
+          r.execution_time, *paper[(r.system, r.first_failure_point)])
+         for r in rows],
+    ))
+    # SFM: zero additional failures at every point.
+    for r in rows:
+        if r.system == "SFM":
+            assert r.additional_failures == 0
+    # YARN: amplification visible somewhere in the sweep.
+    assert sum(r.additional_failures for r in rows if r.system == "YARN") >= 1
+    # SFM never slower than YARN when YARN amplified.
+    for p in (0.1, 0.2, 0.3):
+        y = next(r for r in rows if r.system == "YARN" and r.first_failure_point == p)
+        s = next(r for r in rows if r.system == "SFM" and r.first_failure_point == p)
+        if y.additional_failures > 0:
+            assert s.execution_time <= y.execution_time

@@ -1,0 +1,28 @@
+"""Benchmark harness configuration.
+
+Each bench regenerates one of the paper's tables/figures and prints the
+rows the paper reports next to the paper's own numbers. Absolute times
+are simulator seconds, not the authors' testbed seconds — the *shapes*
+(who wins, by roughly what factor, where crossovers fall) are the
+reproduction target (see EXPERIMENTS.md).
+
+Input sizes default to half the paper's (REPRO_SCALE=0.5) to keep the
+suite's wall time reasonable; set REPRO_SCALE=1.0 for the full-size
+reproduction.
+"""
+
+import os
+
+import pytest
+
+os.environ.setdefault("REPRO_SCALE", "0.5")
+
+
+def _print_report(title: str, body: str) -> None:
+    print(f"\n=== {title} (REPRO_SCALE={os.environ['REPRO_SCALE']}) ===")
+    print(body)
+
+
+@pytest.fixture
+def report():
+    return _print_report

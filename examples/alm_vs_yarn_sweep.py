@@ -1,0 +1,50 @@
+#!/usr/bin/env python
+"""Sweep failure-injection points and compare recovery systems.
+
+For each of the paper's three benchmarks, inject a transient ReduceTask
+failure at 10..90% progress and compare stock YARN, ALG-only and the
+full ALM framework (Fig. 8-style sweep, all systems side by side).
+
+    python examples/alm_vs_yarn_sweep.py [--scale 0.5]
+"""
+
+import argparse
+
+from repro.experiments.common import format_table, run_benchmark_job
+from repro.faults import kill_reduce_at_progress
+from repro.workloads import secondarysort, terasort, wordcount
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", type=float, default=0.5,
+                        help="input-size scale relative to the paper (default 0.5)")
+    parser.add_argument("--points", type=float, nargs="+",
+                        default=[0.3, 0.6, 0.9])
+    args = parser.parse_args()
+
+    workloads = [terasort(100.0 * args.scale), wordcount(10.0 * args.scale),
+                 secondarysort(10.0 * args.scale)]
+    systems = ["yarn", "alg", "alm"]
+
+    rows = []
+    for wl in workloads:
+        _, base = run_benchmark_job(wl, "yarn", job_name=f"{wl.name}-base")
+        rows.append((wl.name, "none", "-", f"{base.elapsed:.1f}", "-"))
+        for p in args.points:
+            for system in systems:
+                fault = kill_reduce_at_progress(p)
+                _, res = run_benchmark_job(wl, system, faults=[fault],
+                                           job_name=f"{wl.name}-{system}-{p}")
+                delay = (res.elapsed / base.elapsed - 1.0) * 100.0
+                rows.append((wl.name, system, f"{int(p * 100)}%",
+                             f"{res.elapsed:.1f}", f"{delay:+.1f}%"))
+    print(format_table(
+        ["workload", "system", "failure point", "job time (s)", "vs failure-free"],
+        rows,
+        title=f"Transient ReduceTask failure sweep (scale={args.scale})",
+    ))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,51 @@
+"""repro — reproduction of *Cracking Down MapReduce Failure
+Amplification through Analytics Logging and Migration* (IPPS 2015).
+
+The package is a discrete-event simulation of a YARN MapReduce cluster
+faithful to the failure-handling mechanisms the paper studies, plus the
+paper's contribution — the ALM fault-tolerance framework (Analytics
+LogGing + Speculative Fast Migration with Fast Collective Merging).
+
+Layer map (bottom-up):
+
+- :mod:`repro.sim` — event kernel and max-min fair bandwidth sharing.
+- :mod:`repro.cluster` — nodes, racks, disks, NICs, failures.
+- :mod:`repro.hdfs` — blocks, replication levels, pipelined writes.
+- :mod:`repro.yarn` — ResourceManager, NodeManagers, liveness.
+- :mod:`repro.mapreduce` — MRAppMaster, Map/ReduceTasks, shuffle with
+  Hadoop's fetch-failure semantics, pluggable recovery policies.
+- :mod:`repro.alm` — the paper's ALG + SFM/FCM framework.
+- :mod:`repro.workloads` — Terasort / Wordcount / Secondarysort models.
+- :mod:`repro.faults` — task/node fault injection.
+- :mod:`repro.experiments` — one driver per paper figure/table.
+
+Quickstart::
+
+    from repro.mapreduce import run_job
+    from repro.workloads import wordcount
+    from repro.alm import ALMPolicy
+    from repro.faults import kill_node_at_progress
+
+    result = run_job(
+        wordcount(10.0),
+        policy=ALMPolicy(),
+        faults=[kill_node_at_progress(0.5, target="reducer")],
+    )
+    print(result.elapsed, result.counters)
+"""
+
+from repro.mapreduce import JobConf, JobResult, MapReduceRuntime, run_job
+from repro.workloads import secondarysort, terasort, wordcount
+
+__version__ = "0.1.0"
+
+__all__ = [
+    "JobConf",
+    "JobResult",
+    "MapReduceRuntime",
+    "run_job",
+    "secondarysort",
+    "terasort",
+    "wordcount",
+    "__version__",
+]

@@ -1,0 +1,33 @@
+"""The paper's contribution: the Analytics Logging and Migration (ALM)
+fault-tolerance framework.
+
+- :mod:`~repro.alm.alg` — **Analytics LogGing**: a non-intrusive,
+  task-level logging daemon that periodically snapshots ReduceTask
+  progress (shuffle/merge stage: fetched MOF ids + intermediate file
+  paths, kept on the local file system; reduce stage: MPQ offsets +
+  flushed output, replicated to HDFS at a configurable level).
+- :mod:`~repro.alm.fcm` — **Fast Collective Merging**: recovery-mode
+  ReduceTask execution where every participant node pre-merges its
+  local MOF segments (Local-MPQ) and streams into the recovering
+  reducer's Global-MPQ, fully in memory, pipelining shuffle/merge/
+  reduce.
+- :mod:`~repro.alm.sfm` — **Speculative Fast Migration** and the
+  enhanced recovery scheduling policy (Algorithm 1): proactive MapTask
+  re-execution on node loss, same-node relaunch for transient failures,
+  speculative FCM recovery attempts (capped), and the wait-don't-fail
+  directive that cracks down spatial failure amplification.
+"""
+
+from repro.alm.alg import ALGConfig, AnalyticsLogStore, AnalyticsLogger, LogRecord
+from repro.alm.fcm import FCMReduceAttempt
+from repro.alm.sfm import ALMConfig, ALMPolicy
+
+__all__ = [
+    "ALGConfig",
+    "ALMConfig",
+    "ALMPolicy",
+    "AnalyticsLogStore",
+    "AnalyticsLogger",
+    "FCMReduceAttempt",
+    "LogRecord",
+]

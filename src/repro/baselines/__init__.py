@@ -1,0 +1,12 @@
+"""Related-work baselines the paper compares against (§VI).
+
+- :mod:`~repro.baselines.iss` — Ko et al.'s Intermediate Storage
+  System: replicate map output off-node so node failures don't require
+  MapTask re-execution, at the cost of replication overhead on every
+  job — and, as the paper argues, still no answer to slow ReduceTask
+  recovery.
+"""
+
+from repro.baselines.iss import ISSConfig, ISSPolicy
+
+__all__ = ["ISSConfig", "ISSPolicy"]

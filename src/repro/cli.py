@@ -1,0 +1,249 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+
+``run``
+    Run one simulated job, e.g.::
+
+        python -m repro run terasort --size-gb 100 --policy alm \\
+            --fault node@0.5:reducer --report --export job.json
+
+``experiment``
+    Regenerate one paper figure/table, e.g.::
+
+        python -m repro experiment table2 --scale 0.5
+
+``list``
+    Show available workloads, policies and experiments.
+
+Fault specs: ``reduce@P`` (OOM the reducer at progress P),
+``map@P:IDX``, ``node@P:TARGET`` (TARGET = reducer | map-only | worker
+index), ``nodetime@T:TARGET``, ``maps@T:N`` (kill N maps at time T),
+``slow@T:IDX[:FACTOR]`` (degrade a node's disk).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.cluster import ClusterSpec
+from repro.experiments import format_table
+from repro.experiments.common import make_policy
+from repro.faults import (
+    NodeFault,
+    SlowNodeFault,
+    TaskFault,
+    kill_maps_at_time,
+    kill_node_at_progress,
+    kill_node_at_time,
+)
+from repro.mapreduce.config import JobConf
+from repro.mapreduce.job import MapReduceRuntime
+from repro.mapreduce.tasks import TaskType
+from repro.metrics import export_result_json, failure_timeline, progress_curve, task_gantt
+from repro.workloads import BENCHMARKS
+
+__all__ = ["main", "parse_fault"]
+
+_POLICIES = ("yarn", "alg", "sfm", "alm", "iss")
+_EXPERIMENTS = (
+    "fig01", "fig02", "fig03", "fig04", "fig08", "fig09", "fig10",
+    "fig11", "fig12", "fig13", "fig14", "fig15", "table2",
+)
+
+
+def parse_fault(spec: str):
+    """Parse one ``--fault`` spec string into an injector."""
+    try:
+        kind, rest = spec.split("@", 1)
+        parts = rest.split(":")
+        if kind == "reduce":
+            return TaskFault(TaskType.REDUCE, int(parts[1]) if len(parts) > 1 else 0,
+                             float(parts[0]))
+        if kind == "map":
+            return TaskFault(TaskType.MAP, int(parts[1]) if len(parts) > 1 else 0,
+                             float(parts[0]))
+        if kind == "node":
+            target = _node_target(parts[1] if len(parts) > 1 else "reducer")
+            return kill_node_at_progress(float(parts[0]), target=target)
+        if kind == "nodetime":
+            target = _node_target(parts[1] if len(parts) > 1 else "reducer")
+            return kill_node_at_time(float(parts[0]), target=target)
+        if kind == "maps":
+            return kill_maps_at_time(int(parts[1]), at_time=float(parts[0]))
+        if kind == "slow":
+            factor = float(parts[2]) if len(parts) > 2 else 0.1
+            return SlowNodeFault(node_index=int(parts[1]) if len(parts) > 1 else 0,
+                                 at_time=float(parts[0]), disk_factor=factor)
+    except (ValueError, IndexError) as exc:
+        raise argparse.ArgumentTypeError(f"bad fault spec {spec!r}: {exc}") from exc
+    raise argparse.ArgumentTypeError(f"unknown fault kind in {spec!r}")
+
+
+def _node_target(text: str):
+    if text in ("reducer", "map-only"):
+        return text
+    return int(text)
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Simulated YARN MapReduce + the ALM fault-tolerance framework",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_run = sub.add_parser("run", help="run one simulated job")
+    p_run.add_argument("workload", choices=sorted(BENCHMARKS))
+    p_run.add_argument("--size-gb", type=float, default=None,
+                       help="input size in GB (default: the paper's size)")
+    p_run.add_argument("--reducers", type=int, default=None)
+    p_run.add_argument("--policy", choices=_POLICIES, default="yarn")
+    p_run.add_argument("--fault", action="append", default=[], type=parse_fault,
+                       metavar="SPEC", help="fault spec (repeatable); see module docs")
+    p_run.add_argument("--nodes", type=int, default=21)
+    p_run.add_argument("--racks", type=int, default=2)
+    p_run.add_argument("--seed", type=int, default=2015)
+    p_run.add_argument("--speculation", action="store_true")
+    p_run.add_argument("--report", action="store_true",
+                       help="print progress curve, gantt and failure timeline")
+    p_run.add_argument("--export", metavar="PATH", default=None,
+                       help="write the full trace as JSON")
+
+    p_exp = sub.add_parser("experiment", help="regenerate a paper figure/table")
+    p_exp.add_argument("name", choices=_EXPERIMENTS)
+    p_exp.add_argument("--scale", type=float, default=0.5,
+                       help="input-size scale vs the paper (default 0.5)")
+
+    sub.add_parser("list", help="show workloads, policies and experiments")
+    return parser
+
+
+def cmd_run(args) -> int:
+    factory = BENCHMARKS[args.workload]
+    wl = factory() if args.size_gb is None else factory(args.size_gb)
+    if args.reducers is not None:
+        wl = wl.with_reducers(args.reducers)
+    if args.policy == "iss":
+        from repro.baselines import ISSPolicy
+
+        policy = ISSPolicy()
+    else:
+        policy = make_policy(args.policy)
+    rt = MapReduceRuntime(
+        wl,
+        conf=JobConf(),
+        cluster_spec=ClusterSpec(num_nodes=args.nodes, num_racks=args.racks,
+                                 seed=args.seed),
+        policy=policy,
+        job_name=f"{wl.name}-{args.policy}",
+        speculation=args.speculation,
+    )
+    for fault in args.fault:
+        fault.install(rt)
+    result = rt.run()
+    status = "SUCCESS" if result.success else "FAILED"
+    print(f"{result.job_name}: {status} in {result.elapsed:.1f} simulated seconds")
+    for key, value in result.counters.items():
+        print(f"  {key:28s} {value}")
+    if args.report:
+        print()
+        print(progress_curve(result.trace))
+        print()
+        print(task_gantt(result))
+        print()
+        print(failure_timeline(result.trace))
+    if args.export:
+        path = export_result_json(result, args.export)
+        print(f"\ntrace written to {path}")
+    return 0 if result.success else 1
+
+
+def cmd_experiment(args) -> int:
+    import repro.experiments as ex
+
+    scale = args.scale
+    name = args.name
+    if name == "fig01":
+        rows = ex.fig01_recovery_time(scale=scale)
+        print(format_table(["failure", "count", "job (s)", "recovery (s)"],
+                           [(r.failure, r.count, r.job_time, r.recovery_time) for r in rows],
+                           title="Fig. 1"))
+    elif name == "fig02":
+        rows = ex.fig02_delayed_execution(scale=scale)
+        print(format_table(["workload", "failure", "progress", "job (s)", "deg %"],
+                           [(r.workload, r.failure, r.progress, r.job_time,
+                             r.degradation_pct) for r in rows], title="Fig. 2"))
+    elif name in ("fig03", "fig10"):
+        res = (ex.fig03_temporal_amplification(scale=scale) if name == "fig03"
+               else ex.fig10_sfm_trace(scale=scale).sfm)
+        print(f"{name}: crash={res.crash_time:.1f}s detect={res.detect_time:.1f}s "
+              f"repeats={[round(t, 1) for t in res.repeat_failure_times]} "
+              f"job={res.job_time:.1f}s")
+    elif name == "fig04":
+        res = ex.fig04_spatial_amplification(scale=scale)
+        print(f"fig04: victim={res.victim} crash={res.crash_time:.1f}s "
+              f"additional failures={res.additional_failures} job={res.job_time:.1f}s")
+    elif name == "fig08":
+        rows = ex.fig08_alg_task_failure(scale=scale)
+        print(format_table(["workload", "system", "progress", "job (s)"],
+                           [(r.workload, r.system, r.progress, r.job_time) for r in rows],
+                           title="Fig. 8"))
+    elif name == "fig09":
+        rows = ex.fig09_sfm_node_failure(scale=scale)
+        print(format_table(["workload", "system", "progress", "job (s)", "extra fails"],
+                           [(r.workload, r.system, r.progress, r.job_time,
+                             r.additional_reduce_failures) for r in rows], title="Fig. 9"))
+    elif name == "fig11":
+        rows = ex.fig11_alg_overhead(scale=scale)
+        print(format_table(["GB", "system", "job (s)"],
+                           [(r.input_gb, r.system, r.job_time) for r in rows],
+                           title="Fig. 11"))
+    elif name == "fig12":
+        rows = ex.fig12_log_frequency(scale=scale)
+        print(format_table(["interval (s)", "job (s)", "ticks"],
+                           [(r.frequency, r.job_time, r.log_ticks) for r in rows],
+                           title="Fig. 12"))
+    elif name == "fig13":
+        rows = ex.fig13_replication_levels(scale=scale)
+        print(format_table(["GB", "level", "job (s)", "reduce phase (s)"],
+                           [(r.input_gb, r.level, r.job_time, r.reduce_phase_time)
+                            for r in rows], title="Fig. 13"))
+    elif name == "fig14":
+        rows = ex.fig14_concurrent_failures(scale=scale)
+        print(format_table(["GB/reducer", "failures", "system", "job (s)", "recovery (s)"],
+                           [(r.per_reducer_gb, r.concurrent_failures, r.system,
+                             r.job_time, r.recovery_time) for r in rows], title="Fig. 14"))
+    elif name == "fig15":
+        rows = ex.fig15_sfm_plus_alg(scale=scale)
+        print(format_table(["workload", "system", "job (s)", "recovery (s)"],
+                           [(r.workload, r.system, r.job_time, r.recovery_time)
+                            for r in rows], title="Fig. 15"))
+    elif name == "table2":
+        rows = ex.table2_spatial_recovery(scale=scale)
+        print(format_table(["type", "point", "extra fails", "time (s)"],
+                           [(r.system, r.first_failure_point, r.additional_failures,
+                             r.execution_time) for r in rows], title="Table II"))
+    return 0
+
+
+def cmd_list(_args) -> int:
+    print("workloads:  " + ", ".join(sorted(BENCHMARKS)))
+    print("policies:   " + ", ".join(_POLICIES))
+    print("experiments:" + " " + ", ".join(_EXPERIMENTS))
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = _build_parser().parse_args(argv)
+    if args.command == "run":
+        return cmd_run(args)
+    if args.command == "experiment":
+        return cmd_experiment(args)
+    return cmd_list(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,15 @@
+"""Physical cluster model: nodes, racks, disks, NICs and data movement.
+
+The testbed in the paper is 21 machines (hex-core Xeons, 24 GB RAM, one
+SATA SSD each) on 10 GbE. Here a :class:`~repro.cluster.node.Node`
+bundles a fair-shared disk, NIC ingress/egress links and a local file
+namespace; a :class:`~repro.cluster.cluster.Cluster` wires nodes into
+racks, owns the :class:`~repro.sim.flows.FlowScheduler` and exposes the
+data-movement verbs (disk reads/writes, intra- and cross-rack network
+transfers) the upper layers use.
+"""
+
+from repro.cluster.cluster import Cluster, ClusterSpec
+from repro.cluster.node import LocalFile, Node, NodeSpec, Rack
+
+__all__ = ["Cluster", "ClusterSpec", "LocalFile", "Node", "NodeSpec", "Rack"]

@@ -1,0 +1,42 @@
+"""Experiment drivers — one per table/figure in the paper's evaluation.
+
+Every driver is a plain function returning structured rows (lists of
+dataclasses) and is used by three consumers: the test suite (shape
+assertions), the benchmark harness (regenerating the paper's numbers)
+and the examples. ``scale`` rescales input sizes (1.0 = the paper's
+sizes) so quick runs and full reproductions share one code path.
+"""
+
+from repro.experiments.common import ExperimentConfig, format_table, run_benchmark_job
+from repro.experiments.fig01_recovery import fig01_recovery_time
+from repro.experiments.fig02_delay import fig02_delayed_execution
+from repro.experiments.fig03_temporal import fig03_temporal_amplification
+from repro.experiments.fig04_spatial import fig04_spatial_amplification
+from repro.experiments.fig08_alg import fig08_alg_task_failure
+from repro.experiments.fig09_sfm import fig09_sfm_node_failure
+from repro.experiments.fig10_sfm_trace import fig10_sfm_trace
+from repro.experiments.fig11_overhead import fig11_alg_overhead
+from repro.experiments.fig12_frequency import fig12_log_frequency
+from repro.experiments.fig13_replication import fig13_replication_levels
+from repro.experiments.fig14_concurrent import fig14_concurrent_failures
+from repro.experiments.fig15_combined import fig15_sfm_plus_alg
+from repro.experiments.table2_spatial import table2_spatial_recovery
+
+__all__ = [
+    "ExperimentConfig",
+    "fig01_recovery_time",
+    "fig02_delayed_execution",
+    "fig03_temporal_amplification",
+    "fig04_spatial_amplification",
+    "fig08_alg_task_failure",
+    "fig09_sfm_node_failure",
+    "fig10_sfm_trace",
+    "fig11_alg_overhead",
+    "fig12_log_frequency",
+    "fig13_replication_levels",
+    "fig14_concurrent_failures",
+    "fig15_sfm_plus_alg",
+    "format_table",
+    "run_benchmark_job",
+    "table2_spatial_recovery",
+]

@@ -1,0 +1,141 @@
+"""Shared plumbing for the experiment drivers."""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable, Sequence
+
+from repro.alm import ALGConfig, ALMConfig, ALMPolicy
+from repro.cluster import ClusterSpec
+from repro.hdfs.hdfs import HdfsConfig, ReplicationLevel
+from repro.mapreduce.config import JobConf
+from repro.mapreduce.job import JobResult, MapReduceRuntime
+from repro.mapreduce.recovery import YarnRecoveryPolicy
+from repro.workloads import Workload
+from repro.yarn.rm import YarnConfig
+
+__all__ = [
+    "ExperimentConfig",
+    "averaged_job_time",
+    "format_table",
+    "make_policy",
+    "run_benchmark_job",
+    "scale_from_env",
+]
+
+
+def scale_from_env(default: float = 1.0) -> float:
+    """Input-size scale: 1.0 reproduces the paper's sizes; the
+    ``REPRO_SCALE`` environment variable overrides (benchmarks use it
+    to trade fidelity for wall time)."""
+    return float(os.environ.get("REPRO_SCALE", default))
+
+
+@dataclass
+class ExperimentConfig:
+    """Cluster/framework setup shared by all experiments.
+
+    Defaults mirror the paper's testbed (§V-A): 21 nodes (1 master +
+    20 workers), two racks, Table I parameters.
+    """
+
+    cluster: ClusterSpec = field(default_factory=ClusterSpec)
+    yarn: YarnConfig = field(default_factory=YarnConfig)
+    hdfs: HdfsConfig = field(default_factory=HdfsConfig)
+    job: JobConf = field(default_factory=JobConf)
+    seed: int = 2015
+
+    def with_seed(self, seed: int) -> "ExperimentConfig":
+        from dataclasses import replace
+
+        return ExperimentConfig(
+            cluster=replace(self.cluster, seed=seed),
+            yarn=self.yarn, hdfs=self.hdfs, job=self.job, seed=seed,
+        )
+
+
+def make_policy(system: str, alg_frequency: float = 10.0,
+                alg_level: ReplicationLevel = ReplicationLevel.RACK,
+                fcm_cap: int = 10):
+    """Build the recovery policy for a named system under test."""
+    alg = ALGConfig(frequency=alg_frequency, level=alg_level)
+    if system == "yarn":
+        return YarnRecoveryPolicy()
+    if system == "alg":
+        return ALMPolicy(ALMConfig(enable_alg=True, enable_sfm=False, alg=alg))
+    if system == "sfm":
+        return ALMPolicy(ALMConfig(enable_alg=False, enable_sfm=True, fcm_cap=fcm_cap))
+    if system == "alm":
+        return ALMPolicy(ALMConfig(alg=alg, fcm_cap=fcm_cap))
+    raise ValueError(f"unknown system {system!r}")
+
+
+def run_benchmark_job(
+    workload: Workload,
+    system: str = "yarn",
+    faults: Iterable[Any] = (),
+    config: ExperimentConfig | None = None,
+    job_name: str | None = None,
+    policy_kwargs: dict | None = None,
+) -> tuple[MapReduceRuntime, JobResult]:
+    """Run one job under one system with faults; returns (runtime, result)."""
+    cfg = config or ExperimentConfig()
+    rt = MapReduceRuntime(
+        workload,
+        conf=cfg.job,
+        cluster_spec=cfg.cluster,
+        yarn_config=cfg.yarn,
+        hdfs_config=cfg.hdfs,
+        policy=make_policy(system, **(policy_kwargs or {})),
+        job_name=job_name or f"{workload.name}-{system}",
+    )
+    for fault in faults:
+        fault.install(rt)
+    return rt, rt.run()
+
+
+def averaged_job_time(
+    workload: Workload,
+    system: str,
+    fault_factory: Callable[[], Any] | None = None,
+    config: ExperimentConfig | None = None,
+    repeats: int = 3,
+    job_name: str = "avg",
+    policy_kwargs: dict | None = None,
+) -> float:
+    """Mean job time over ``repeats`` seeds (the paper's 'average of
+    three test runs'); damps placement/scheduling noise that a single
+    simulated run shares with a single testbed run."""
+    cfg = config or ExperimentConfig()
+    times = []
+    for k in range(repeats):
+        run_cfg = cfg.with_seed(cfg.seed + 101 * k)
+        faults = [fault_factory()] if fault_factory is not None else []
+        _, res = run_benchmark_job(workload, system, faults=faults,
+                                   config=run_cfg, job_name=f"{job_name}-s{k}",
+                                   policy_kwargs=policy_kwargs)
+        times.append(res.elapsed)
+    return sum(times) / len(times)
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence[Any]],
+                 title: str | None = None) -> str:
+    """Plain-text table matching how the benches report paper rows."""
+    rows = [[_fmt(c) for c in r] for r in rows]
+    widths = [max(len(h), *(len(r[i]) for r in rows)) if rows else len(h)
+              for i, h in enumerate(headers)]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for r in rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(r, widths)))
+    return "\n".join(lines)
+
+
+def _fmt(value: Any) -> str:
+    if isinstance(value, float):
+        return f"{value:.1f}"
+    return str(value)

@@ -1,0 +1,61 @@
+"""Fig. 4 — a single node failure infects healthy ReduceTasks.
+
+Terasort with 20 ReduceTasks; a node that hosts MOFs (and, ideally, no
+ReduceTask) is taken down; under stock YARN healthy reducers on other
+nodes accumulate fetch failures and are preempted.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.experiments.common import ExperimentConfig, run_benchmark_job, scale_from_env
+from repro.faults import kill_node_at_progress
+from repro.workloads import terasort
+
+__all__ = ["Fig04Result", "fig04_spatial_amplification"]
+
+
+@dataclass
+class Fig04Result:
+    job_time: float
+    crash_time: float
+    victim: str
+    infected_failures: list[tuple[float, str, str]] = field(default_factory=list)
+    progress_series: list[tuple[float, float]] = field(default_factory=list)
+    failed_series: list[tuple[float, float]] = field(default_factory=list)
+
+    @property
+    def additional_failures(self) -> int:
+        return len(self.infected_failures)
+
+
+def fig04_spatial_amplification(
+    crash_progress: float = 0.2,
+    system: str = "yarn",
+    num_reducers: int = 20,
+    scale: float | None = None,
+    config: ExperimentConfig | None = None,
+) -> Fig04Result:
+    scale = scale_from_env(1.0) if scale is None else scale
+    wl = terasort(100.0 * scale, num_reducers=num_reducers)
+    fault = kill_node_at_progress(crash_progress, target="map-only")
+    rt, res = run_benchmark_job(wl, system, faults=[fault], config=config,
+                                job_name=f"fig04-{system}")
+    trace = res.trace
+    crash_time = fault.fired_at if fault.fired_at is not None else float("nan")
+    infected = [
+        (e.time, e.data["attempt"], e.data["node"])
+        for e in trace.of_kind("attempt_failed")
+        if e.data["type"] == "reduce"
+        and e.time >= (crash_time if crash_time == crash_time else 0.0)
+        and e.data["node"] != fault.victim_name
+    ]
+    return Fig04Result(
+        job_time=res.elapsed,
+        crash_time=crash_time,
+        victim=fault.victim_name or "(none)",
+        infected_failures=infected,
+        progress_series=trace.series_values("reduce_progress"),
+        failed_series=trace.series_values("failed_reduce_attempts"),
+    )

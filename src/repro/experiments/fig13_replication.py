@@ -1,0 +1,51 @@
+"""Fig. 13 — impact of ALG's replication level on the reduce stage.
+
+Terasort 10..320 GB with ALG's reduce-stage logs/output replicated at
+node, rack or cluster level. The paper reports ~18.4% reduce-stage
+slowdown for rack and ~55.7% for cluster replication at 320 GB.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments.common import ExperimentConfig, run_benchmark_job, scale_from_env
+from repro.hdfs.hdfs import ReplicationLevel
+from repro.workloads import terasort
+
+__all__ = ["Fig13Row", "fig13_replication_levels"]
+
+
+@dataclass
+class Fig13Row:
+    input_gb: float
+    level: str
+    job_time: float
+    reduce_phase_time: float
+
+
+def _reduce_phase_time(res) -> float:
+    """Time from first reducer launch to job end."""
+    first = res.trace.first("attempt_start", type="reduce")
+    if first is None:
+        return float("nan")
+    return res.end_time - first.time
+
+
+def fig13_replication_levels(
+    input_sizes_gb=(10.0, 40.0, 160.0, 320.0),
+    levels=(ReplicationLevel.NODE, ReplicationLevel.RACK, ReplicationLevel.CLUSTER),
+    scale: float | None = None,
+    config: ExperimentConfig | None = None,
+) -> list[Fig13Row]:
+    scale = scale_from_env(1.0) if scale is None else scale
+    rows: list[Fig13Row] = []
+    for gb in input_sizes_gb:
+        wl = terasort(gb * scale)
+        for level in levels:
+            _, res = run_benchmark_job(
+                wl, "alg", config=config,
+                job_name=f"fig13-{level.value}-{gb}",
+                policy_kwargs={"alg_level": level})
+            rows.append(Fig13Row(gb, level.value, res.elapsed, _reduce_phase_time(res)))
+    return rows

@@ -1,0 +1,30 @@
+"""Fault injection: task kills and node failures, by time or progress.
+
+Mirrors the paper's methodology (§V-B): transient task failures are
+emulated by injecting an out-of-memory exception into a running task at
+a chosen progress point; node failures by stopping a node's network
+services (or crashing it outright) at a chosen time or job-progress
+point.
+"""
+
+from repro.faults.inject import (
+    FaultInjector,
+    NodeFault,
+    TaskFault,
+    kill_node_at_progress,
+    kill_node_at_time,
+    kill_reduce_at_progress,
+    kill_maps_at_time,
+)
+from repro.faults.stragglers import SlowNodeFault
+
+__all__ = [
+    "FaultInjector",
+    "NodeFault",
+    "SlowNodeFault",
+    "TaskFault",
+    "kill_maps_at_time",
+    "kill_node_at_progress",
+    "kill_node_at_time",
+    "kill_reduce_at_progress",
+]

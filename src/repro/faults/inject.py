@@ -1,0 +1,213 @@
+"""Fault injector implementations."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from repro.mapreduce.tasks import TaskType
+from repro.sim.core import SimulationError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.mapreduce.job import MapReduceRuntime
+
+__all__ = [
+    "FaultInjector",
+    "NodeFault",
+    "TaskFault",
+    "kill_maps_at_time",
+    "kill_node_at_progress",
+    "kill_node_at_time",
+    "kill_reduce_at_progress",
+]
+
+#: Poll interval for progress-triggered faults.
+_POLL = 0.25
+
+
+@dataclass
+class TaskFault:
+    """Inject an OOM into a task attempt at a progress point.
+
+    ``at_progress`` is the attempt's own progress in [0, 1]; the paper's
+    "failure at X% of the reduce phase" maps to the reduce attempt's
+    progress because reducers span the whole phase.
+    """
+
+    task_type: TaskType = TaskType.REDUCE
+    task_index: int = 0
+    at_progress: float = 0.5
+    reason: str = "injected-oom"
+    #: Only fire once even if the task restarts (transient fault).
+    fired_at: float | None = field(default=None, init=False)
+
+    def install(self, rt: "MapReduceRuntime") -> None:
+        if not 0 <= self.at_progress <= 1:
+            raise SimulationError("at_progress must be in [0, 1]")
+        rt.sim.process(self._watch(rt), name=f"fault:{self.task_type.value}{self.task_index}")
+
+    def _watch(self, rt: "MapReduceRuntime"):
+        tasks = rt.am.map_tasks if self.task_type is TaskType.MAP else rt.am.reduce_tasks
+        task = tasks[self.task_index]
+        while self.fired_at is None:
+            for attempt in task.running_attempts():
+                if attempt.progress >= self.at_progress:
+                    self.fired_at = rt.sim.now
+                    rt.trace.log("fault_injected", fault="task-oom", task=task.name,
+                                 attempt=attempt.attempt_id, progress=attempt.progress)
+                    attempt.kill(self.reason)
+                    return
+            if task.is_finished:
+                return
+            yield rt.sim.timeout(_POLL)
+
+
+@dataclass
+class NodeFault:
+    """Take a node down at a time or reduce-phase-progress trigger.
+
+    ``target`` selects the victim:
+
+    - ``"reducer"`` — the node hosting the running attempt of reduce
+      task ``reduce_task_index`` (Figs. 3, 9, 10);
+    - ``"map-only"`` — a node holding MOFs but no running ReduceTask
+      (the spatial-amplification setup of Fig. 4 / Table II);
+    - an ``int`` — that worker index directly.
+
+    ``mode="network"`` stops network services (the paper's method);
+    ``mode="crash"`` power-fails the machine.
+    """
+
+    target: str | int = "reducer"
+    at_time: float | None = None
+    at_progress: float | None = None
+    mode: str = "network"
+    reduce_task_index: int = 0
+    fired_at: float | None = field(default=None, init=False)
+    victim_name: str | None = field(default=None, init=False)
+
+    def install(self, rt: "MapReduceRuntime") -> None:
+        if (self.at_time is None) == (self.at_progress is None):
+            raise SimulationError("specify exactly one of at_time / at_progress")
+        if self.mode not in ("network", "crash"):
+            raise SimulationError(f"unknown mode {self.mode!r}")
+        rt.sim.process(self._watch(rt), name=f"fault:node:{self.target}")
+
+    def _watch(self, rt: "MapReduceRuntime"):
+        if self.at_time is not None:
+            yield rt.sim.timeout(self.at_time)
+        else:
+            while rt.am.reduce_phase_progress() < self.at_progress:
+                if rt.am._finished:
+                    return
+                yield rt.sim.timeout(_POLL)
+        victim = self._pick(rt)
+        if victim is None:
+            return
+        self.fired_at = rt.sim.now
+        self.victim_name = victim.name
+        rt.trace.log("fault_injected", fault=f"node-{self.mode}", node=victim.name)
+        if self.mode == "crash":
+            rt.cluster.crash_node(victim)
+        else:
+            rt.cluster.stop_network(victim)
+
+    def _pick(self, rt: "MapReduceRuntime"):
+        if isinstance(self.target, int):
+            return rt.workers[self.target]
+        if self.target == "reducer":
+            task = rt.am.reduce_tasks[self.reduce_task_index]
+            running = task.running_attempts()
+            if running:
+                return running[0].node
+            # Fall back to any node hosting a reducer.
+            for t in rt.am.reduce_tasks:
+                if t.running_attempts():
+                    return t.running_attempts()[0].node
+            return None
+        if self.target == "map-only":
+            reducer_nodes = {
+                a.node for t in rt.am.reduce_tasks for a in t.running_attempts()
+            }
+            candidates = [
+                (len(rt.am.registry.on_node(n)), n)
+                for n in rt.workers
+                if n.reachable and n not in reducer_nodes
+                and len(rt.am.registry.on_node(n)) > 0
+            ]
+            if not candidates:
+                # Every node hosts a reducer: fall back to the node
+                # whose loss matters least directly (fewest reducers,
+                # most MOFs) so the experiment still exercises the
+                # lost-MOF path.
+                candidates = [
+                    (len(rt.am.registry.on_node(n)), n)
+                    for n in rt.workers
+                    if n.reachable and len(rt.am.registry.on_node(n)) > 0
+                ]
+                if not candidates:
+                    return None
+            candidates.sort(key=lambda cn: (-cn[0], cn[1].node_id))
+            return candidates[0][1]
+        raise SimulationError(f"unknown target {self.target!r}")
+
+
+@dataclass
+class MapWaveFault:
+    """Kill up to ``count`` running MapTask attempts at ``at_time``
+    (Fig. 1's N-MapTask-failure experiment)."""
+
+    count: int
+    at_time: float
+    killed: int = field(default=0, init=False)
+    killed_tasks: list = field(default_factory=list, init=False)
+    fired_at: float | None = field(default=None, init=False)
+
+    def install(self, rt: "MapReduceRuntime") -> None:
+        rt.sim.process(self._watch(rt), name=f"fault:maps:{self.count}")
+
+    def _watch(self, rt: "MapReduceRuntime"):
+        yield rt.sim.timeout(self.at_time)
+        self.fired_at = rt.sim.now
+        for task in rt.am.map_tasks:
+            if self.killed >= self.count:
+                break
+            for attempt in task.running_attempts():
+                attempt.kill("injected-oom")
+                self.killed += 1
+                self.killed_tasks.append(task.name)
+                break
+        rt.trace.log("fault_injected", fault="map-wave", count=self.killed)
+
+
+class FaultInjector:
+    """Bundle of faults installed together onto one runtime."""
+
+    def __init__(self, *faults) -> None:
+        self.faults = list(faults)
+
+    def add(self, fault) -> "FaultInjector":
+        self.faults.append(fault)
+        return self
+
+    def install(self, rt: "MapReduceRuntime") -> None:
+        for f in self.faults:
+            f.install(rt)
+
+
+# -- convenience constructors used by the experiment drivers ----------------
+
+def kill_reduce_at_progress(progress: float, task_index: int = 0) -> TaskFault:
+    return TaskFault(TaskType.REDUCE, task_index, progress)
+
+
+def kill_node_at_time(at_time: float, target: str | int = "reducer", mode: str = "network") -> NodeFault:
+    return NodeFault(target=target, at_time=at_time, mode=mode)
+
+
+def kill_node_at_progress(progress: float, target: str | int = "reducer", mode: str = "network") -> NodeFault:
+    return NodeFault(target=target, at_progress=progress, mode=mode)
+
+
+def kill_maps_at_time(count: int, at_time: float) -> MapWaveFault:
+    return MapWaveFault(count=count, at_time=at_time)

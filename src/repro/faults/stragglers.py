@@ -1,0 +1,56 @@
+"""Straggler injection: degrade a node's devices instead of killing it.
+
+Dinu & Ng (HPDC'12), which the paper builds on, distinguish fail-stop
+nodes from *faulty* nodes that remain responsive but slow — the case
+Algorithm 1's lines 14-21 target by racing a speculative recovery task
+against a same-node relaunch. This injector produces such nodes by
+scaling down disk and/or NIC capacity at a trigger point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from repro.sim.core import SimulationError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.mapreduce.job import MapReduceRuntime
+
+__all__ = ["SlowNodeFault"]
+
+
+@dataclass
+class SlowNodeFault:
+    """Degrade a worker's I/O bandwidth at ``at_time``.
+
+    ``disk_factor`` / ``nic_factor`` multiply the device capacities
+    (e.g. 0.1 = ten times slower). The node keeps heartbeating, so the
+    RM never declares it lost — only speculation or ALM's Algorithm 1
+    can save tasks scheduled there.
+    """
+
+    node_index: int = 0
+    at_time: float = 0.0
+    disk_factor: float = 0.1
+    nic_factor: float = 1.0
+    fired_at: float | None = field(default=None, init=False)
+    victim_name: str | None = field(default=None, init=False)
+
+    def install(self, rt: "MapReduceRuntime") -> None:
+        if not 0 < self.disk_factor <= 1 or not 0 < self.nic_factor <= 1:
+            raise SimulationError("degradation factors must be in (0, 1]")
+        rt.sim.process(self._watch(rt), name=f"fault:slow-node:{self.node_index}")
+
+    def _watch(self, rt: "MapReduceRuntime"):
+        yield rt.sim.timeout(self.at_time)
+        node = rt.workers[self.node_index]
+        if not node.alive:
+            return
+        self.fired_at = rt.sim.now
+        self.victim_name = node.name
+        node.disk.set_capacity(node.spec.disk_bandwidth * self.disk_factor)
+        node.nic_in.set_capacity(node.spec.nic_bandwidth * self.nic_factor)
+        node.nic_out.set_capacity(node.spec.nic_bandwidth * self.nic_factor)
+        rt.trace.log("fault_injected", fault="slow-node", node=node.name,
+                     disk_factor=self.disk_factor, nic_factor=self.nic_factor)

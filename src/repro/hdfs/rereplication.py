@@ -1,0 +1,123 @@
+"""Background re-replication of under-replicated HDFS blocks.
+
+Real HDFS detects under-replicated blocks after a DataNode is declared
+dead and schedules copies from surviving replicas. The paper's
+experiments are too short for stock re-replication (10-minute DataNode
+timeout) to matter, so the daemon is **opt-in**: attach one to a
+simulation when modelling long-running clusters or studying durability
+under repeated failures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hdfs.hdfs import Block, Hdfs
+from repro.sim.core import Interrupt, SimulationError
+from repro.sim.flows import FlowCancelled
+
+__all__ = ["ReReplicationDaemon", "ReReplicationConfig"]
+
+
+@dataclass(frozen=True)
+class ReReplicationConfig:
+    """Re-replication policy knobs."""
+
+    #: Delay between a replica loss and scheduling the copy (stands in
+    #: for the DataNode dead-declaration interval).
+    detection_delay: float = 30.0
+    #: Scan period of the under-replication monitor.
+    scan_interval: float = 5.0
+    #: Maximum concurrent block copies cluster-wide.
+    max_concurrent: int = 8
+
+    def __post_init__(self) -> None:
+        if self.detection_delay < 0 or self.scan_interval <= 0:
+            raise SimulationError("bad re-replication timings")
+        if self.max_concurrent < 1:
+            raise SimulationError("max_concurrent must be >= 1")
+
+
+class ReReplicationDaemon:
+    """Monitors block replica counts and restores the target factor."""
+
+    def __init__(self, hdfs: Hdfs, config: ReReplicationConfig | None = None) -> None:
+        self.hdfs = hdfs
+        self.sim = hdfs.sim
+        self.cluster = hdfs.cluster
+        self.config = config or ReReplicationConfig()
+        self.copies_done = 0
+        self.bytes_copied = 0.0
+        self._in_flight = 0
+        self._loss_times: dict[int, float] = {}
+        self._running = False
+
+    def start(self) -> None:
+        if not self._running:
+            self._running = True
+            self.sim.process(self._monitor(), name="hdfs-rereplication")
+
+    def stop(self) -> None:
+        self._running = False
+
+    # -- internals -------------------------------------------------------------
+    def _under_replicated(self) -> list[Block]:
+        out = []
+        for f in self.hdfs._files.values():
+            for b in f.blocks:
+                live = b.live_replicas()
+                if live and len(live) < self.hdfs.config.replication:
+                    out.append(b)
+        return out
+
+    def _monitor(self):
+        cfg = self.config
+        while self._running:
+            yield self.sim.timeout(cfg.scan_interval)
+            now = self.sim.now
+            for block in self._under_replicated():
+                first_seen = self._loss_times.setdefault(block.block_id, now)
+                if now - first_seen < cfg.detection_delay:
+                    continue
+                if self._in_flight >= cfg.max_concurrent:
+                    break
+                target = self._pick_target(block)
+                if target is None:
+                    continue
+                self._in_flight += 1
+                # Optimistically count the pending replica so the next
+                # scan doesn't double-schedule this block.
+                block.replicas.append(target)
+                self.sim.process(self._copy(block, target),
+                                 name=f"rerepl:blk{block.block_id}")
+
+    def _pick_target(self, block: Block) -> "Node | None":
+        holders = set(block.live_replicas())
+        pool = [n for n in self.hdfs.datanodes
+                if n.reachable and n not in holders]
+        if not pool:
+            return None
+        return pool[int(self.hdfs.rng.integers(len(pool)))]
+
+    def _copy(self, block: Block, target):
+        src_candidates = [n for n in block.live_replicas()
+                          if n.reachable and n is not target]
+        try:
+            if not src_candidates:
+                raise SimulationError("no live source")
+            src = src_candidates[0]
+            fl = self.cluster.net_transfer(
+                src, target, block.size, name=f"rerepl:{block.block_id}",
+                read_src_disk=True, write_dst_disk=True)
+            yield fl.done
+        except (FlowCancelled, SimulationError, Interrupt):
+            if target in block.replicas:
+                block.replicas.remove(target)
+            self._in_flight -= 1
+            return
+        if target.alive:
+            target.write_file(self.hdfs._replica_path(block), block.size, kind="hdfs")
+        self.copies_done += 1
+        self.bytes_copied += block.size
+        self._loss_times.pop(block.block_id, None)
+        self._in_flight -= 1

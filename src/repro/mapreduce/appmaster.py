@@ -1,0 +1,354 @@
+"""The MRAppMaster: task scheduling, bookkeeping and failure accounting."""
+
+from __future__ import annotations
+
+import math
+from typing import TYPE_CHECKING
+
+from repro.cluster import Cluster
+from repro.cluster.node import Node
+from repro.hdfs.hdfs import Hdfs
+from repro.mapreduce.config import JobConf
+from repro.mapreduce.maptask import MapAttempt
+from repro.mapreduce.mof import MOFRegistry
+from repro.mapreduce.recovery import RecoveryPolicy
+from repro.mapreduce.tasks import AttemptState, Task, TaskState, TaskType
+from repro.metrics.trace import Trace
+from repro.sim.core import Event, Simulator
+from repro.workloads import Workload
+from repro.yarn.rm import Container, ResourceManager
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.mapreduce.reducetask import ReduceAttempt
+
+__all__ = ["MRAppMaster"]
+
+
+class MRAppMaster:
+    """Per-job coordinator (YARN's MRAppMaster).
+
+    Owns the task tables and the MOF registry, requests containers from
+    the RM, launches attempts, counts fetch-failure reports and defers
+    every recovery decision to the attached
+    :class:`~repro.mapreduce.recovery.RecoveryPolicy`.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        cluster: Cluster,
+        rm: ResourceManager,
+        hdfs: Hdfs,
+        workload: Workload,
+        conf: JobConf,
+        policy: RecoveryPolicy,
+        trace: Trace,
+        input_path: str,
+        job_name: str = "job",
+    ) -> None:
+        self.sim = sim
+        self.cluster = cluster
+        self.rm = rm
+        self.hdfs = hdfs
+        self.workload = workload
+        self.conf = conf
+        self.policy = policy
+        self.trace = trace
+        self.job_name = job_name
+        self.input_path = input_path
+
+        self.partition_weights = workload.partition_weights(cluster.rng)
+        blocks = hdfs.blocks(input_path)
+        self.map_tasks = [Task(i, TaskType.MAP, block=b) for i, b in enumerate(blocks)]
+        self.reduce_tasks = [
+            Task(i, TaskType.REDUCE, partition_index=i) for i in range(workload.num_reducers)
+        ]
+        self.num_maps = len(self.map_tasks)
+        self.num_reduces = len(self.reduce_tasks)
+
+        self.registry = MOFRegistry()
+        self.active_reducers: list["ReduceAttempt"] = []
+        self.fetch_failure_reports: dict[int, int] = {}
+        self.completed_maps = 0
+        self.committed_reduces = 0
+        self.max_map_runtime = 10.0
+        self._reducers_launched = False
+        self._finished = False
+        #: Triggers with a result dict when the job ends.
+        self.done: Event = sim.event()
+        self.start_time = sim.now
+
+        rm.node_lost_listeners.append(self._on_node_lost)
+        policy.attach(self)
+
+    # -- job start ----------------------------------------------------------
+    def start(self) -> None:
+        self.start_time = self.sim.now
+        self.trace.log("job_start", job=self.job_name, maps=self.num_maps, reduces=self.num_reduces)
+        for task in self.map_tasks:
+            self.schedule_task(task, priority=self.conf.map_priority)
+        if self.conf.slowstart_completed_maps <= 0:
+            self._launch_reducers()
+
+    # -- scheduling ----------------------------------------------------------
+    def schedule_task(
+        self,
+        task: Task,
+        priority: float,
+        preferred: list[Node] | None = None,
+        exclude: list[Node] | None = None,
+        attempt_kwargs: dict | None = None,
+    ) -> None:
+        """Request a container and launch an attempt when granted."""
+        if task.is_finished or self._finished:
+            return
+        if preferred is None and task.task_type is TaskType.MAP and task.block is not None:
+            preferred = task.block.live_replicas()
+        if preferred is None and task.task_type is TaskType.REDUCE:
+            # Spread reducers round-robin: co-located reducers halve
+            # each other's disk/NIC share and straggle the whole phase.
+            healthy = self.rm.healthy_nodes()
+            if healthy:
+                preferred = [healthy[task.task_id % len(healthy)]]
+        mem = (self.conf.map_memory_mb if task.task_type is TaskType.MAP
+               else self.conf.reduce_memory_mb)
+        task.outstanding_requests += 1
+        grant = self.rm.request_container(mem, priority=priority,
+                                          preferred_nodes=preferred, exclude_nodes=exclude)
+
+        def on_grant(event: Event) -> None:
+            task.outstanding_requests -= 1
+            container: Container = event.value
+            self._launch(task, container, attempt_kwargs or {})
+
+        grant._add_callback(on_grant)
+
+    def _launch(self, task: Task, container: Container, attempt_kwargs: dict) -> None:
+        if task.is_finished or self._finished or not container.alive:
+            self.rm.release_container(container)
+            return
+        if task.running_attempts() and not attempt_kwargs.get("speculative", False):
+            # A previous request for this task was already satisfied.
+            self.rm.release_container(container)
+            return
+        if self._reject_clumped_reduce(task, container, attempt_kwargs):
+            return
+        attempt_kwargs = dict(attempt_kwargs)
+        attempt_kwargs.pop("speculative", None)
+        if task.task_type is TaskType.MAP:
+            attempt = MapAttempt(self, task, container)
+        else:
+            attempt = self.policy.make_reduce_attempt(task, container, **attempt_kwargs)
+        attempt.start()
+        self.trace.log("attempt_start", task=task.name, attempt=attempt.attempt_id,
+                       node=container.node.name, type=task.task_type.value)
+        if task.task_type is TaskType.REDUCE:
+            self.policy.on_reduce_attempt_started(attempt)
+
+    def _reject_clumped_reduce(self, task: Task, container: Container,
+                               attempt_kwargs: dict) -> bool:
+        """AM-side container rejection (as real AMs do for locality):
+        don't stack a first-launch reducer onto a node that already
+        runs one while empty nodes exist — co-located reducers halve
+        each other's disk/NIC share and straggle the phase."""
+        if task.task_type is not TaskType.REDUCE or attempt_kwargs:
+            return False
+        if task.attempts or getattr(task, "_rebalanced", 0) >= 2:
+            return False  # only first launches, bounded retries
+        busy_nodes = {
+            a.node for t in self.reduce_tasks for a in t.running_attempts()
+        }
+        if container.node not in busy_nodes:
+            return False
+        healthy = set(self.rm.healthy_nodes())
+        empty = healthy - busy_nodes
+        if not empty:
+            return False  # nowhere better to go
+        task._rebalanced = getattr(task, "_rebalanced", 0) + 1
+        task.outstanding_requests += 1
+        self.rm.release_container(container)
+        # Preference only — a hard exclusion of every currently-busy
+        # node can become permanently unsatisfiable if the remaining
+        # nodes die later (observed as a multi-job deadlock).
+        grant = self.rm.request_container(
+            self.conf.reduce_memory_mb, priority=self.conf.reduce_priority,
+            preferred_nodes=sorted(empty, key=lambda n: n.node_id),
+        )
+
+        def on_grant(event: Event) -> None:
+            task.outstanding_requests -= 1
+            self._launch(task, event.value, {})
+
+        grant._add_callback(on_grant)
+        return True
+
+    # -- attempt outcomes --------------------------------------------------
+    def _attempt_succeeded(self, attempt, result) -> None:
+        self.rm.release_container(attempt.container)
+        task = attempt.task
+        self.trace.log("attempt_success", task=task.name, attempt=attempt.attempt_id,
+                       node=attempt.node.name, elapsed=attempt.elapsed)
+        if self._finished or task.state is TaskState.SUCCEEDED:
+            return  # speculative duplicate or late completion
+        task.state = TaskState.SUCCEEDED
+        for other in task.running_attempts():
+            if other is not attempt:
+                other.kill("speculative-loser", discard=True)
+        if task.task_type is TaskType.MAP:
+            self._map_succeeded(task, attempt, result)
+        else:
+            self._reduce_succeeded(task, attempt, result)
+
+    def _map_succeeded(self, task: Task, attempt, mof) -> None:
+        self.registry.register(mof)
+        self.fetch_failure_reports.pop(task.task_id, None)
+        if not task.counted:
+            task.counted = True  # first success of this logical map
+            self.completed_maps += 1
+        self.max_map_runtime = max(self.max_map_runtime, attempt.elapsed)
+        self.policy.on_map_completed(task, mof)
+        for reducer in list(self.active_reducers):
+            reducer.notify_mof(mof)
+        if not self._reducers_launched and self.completed_maps >= self._reduce_launch_threshold():
+            self._launch_reducers()
+
+    def _reduce_succeeded(self, task: Task, attempt, result) -> None:
+        self.committed_reduces += 1
+        self.trace.log("reduce_commit", task=task.name, attempt=attempt.attempt_id)
+        if self.committed_reduces >= self.num_reduces:
+            self._finish(success=True)
+
+    def _attempt_failed(self, attempt, reason: str) -> None:
+        self.rm.release_container(attempt.container)
+        task = attempt.task
+        task.failed_attempts += 1
+        self.trace.log("attempt_failed", task=task.name, attempt=attempt.attempt_id,
+                       node=attempt.node.name, reason=reason, type=task.task_type.value)
+        if self._finished or task.is_finished:
+            return
+        if task.failed_attempts >= self.conf.max_attempts:
+            task.state = TaskState.FAILED
+            self.trace.log("task_failed", task=task.name, reason=reason)
+            self._finish(success=False)
+            return
+        self.policy.on_task_failed(task, attempt, reason)
+
+    # -- reducers -----------------------------------------------------------
+    def _reduce_launch_threshold(self) -> int:
+        return max(1, math.ceil(self.conf.slowstart_completed_maps * self.num_maps))
+
+    def _launch_reducers(self) -> None:
+        self._reducers_launched = True
+        for task in self.reduce_tasks:
+            self.schedule_task(task, priority=self.conf.reduce_priority)
+
+    def register_reducer(self, attempt: "ReduceAttempt") -> None:
+        self.active_reducers.append(attempt)
+        for map_id in self.registry.known_map_ids():
+            mof = self.registry.get(map_id)
+            if mof is not None:
+                attempt.notify_mof(mof)
+
+    def unregister_reducer(self, attempt: "ReduceAttempt") -> None:
+        if attempt in self.active_reducers:
+            self.active_reducers.remove(attempt)
+
+    # -- fetch-failure accounting ------------------------------------------------
+    def report_fetch_failure(self, reducer_attempt, map_ids: list[int], host: Node) -> None:
+        for map_id in map_ids:
+            count = self.fetch_failure_reports.get(map_id, 0) + 1
+            self.fetch_failure_reports[map_id] = count
+            self.trace.log("fetch_failure_report", map_id=map_id, host=host.name,
+                           reducer=reducer_attempt.attempt_id, count=count)
+            task = self.map_tasks[map_id]
+            self.policy.on_fetch_failure_report(task, count)
+
+    def rerun_map(self, task: Task, priority: float | None = None) -> None:
+        """Re-execute a *completed* map whose MOF is gone."""
+        if task.state is not TaskState.SUCCEEDED:
+            return  # already re-running or never finished
+        self.registry.invalidate(task.task_id)
+        self.fetch_failure_reports.pop(task.task_id, None)
+        for reducer in list(self.active_reducers):
+            reducer.drop_mof(task.task_id)
+        task.state = TaskState.RUNNING
+        self.trace.log("map_rerun", task=task.name)
+        self.schedule_task(task, priority=priority if priority is not None
+                           else self.conf.recovery_map_priority)
+
+    # -- node loss ----------------------------------------------------------
+    def tasks_running_on(self, node: Node) -> list[Task]:
+        """Tasks whose latest attempt was running on ``node`` when it died."""
+        out = []
+        for task in self.map_tasks + self.reduce_tasks:
+            for a in task.attempts:
+                if a.node is node and a.state in (AttemptState.RUNNING, AttemptState.KILLED,
+                                                  AttemptState.VANISHED):
+                    if not task.is_finished:
+                        out.append(task)
+                        break
+        return out
+
+    def completed_maps_on(self, node: Node) -> list[Task]:
+        return [self.map_tasks[m.map_id] for m in self.registry.on_node(node)
+                if self.map_tasks[m.map_id].state is TaskState.SUCCEEDED]
+
+    def _on_node_lost(self, node: Node) -> None:
+        if self._finished:
+            return
+        self.trace.log("node_lost", node=node.name)
+        # Adjudicate the dying attempts *now*: the RM listener runs before
+        # the ContainerKilled exceptions reach the attempt processes, and
+        # the policy must see those attempts as dead when it reschedules.
+        for task in self.map_tasks + self.reduce_tasks:
+            for a in task.attempts:
+                if a.node is node and a.state is AttemptState.RUNNING:
+                    a.state = AttemptState.KILLED
+                    a.end_time = self.sim.now
+                    self.trace.log("attempt_killed_node_lost", task=task.name,
+                                   attempt=a.attempt_id, type=task.task_type.value)
+        self.policy.on_node_lost(node)
+
+    # -- completion -----------------------------------------------------------
+    def _finish(self, success: bool) -> None:
+        if self._finished:
+            return
+        self._finished = True
+        self.trace.log("job_end", job=self.job_name, success=success)
+        self.policy.on_job_finished()
+        self.done.succeed({
+            "success": success,
+            "start_time": self.start_time,
+            "end_time": self.sim.now,
+        })
+
+    # -- live metrics (used by samplers and fault triggers) -----------------
+    def reduce_phase_progress(self) -> float:
+        """Mean progress over all reduce tasks (completed count as 1)."""
+        if not self.reduce_tasks:
+            return 1.0
+        total = 0.0
+        for task in self.reduce_tasks:
+            if task.state is TaskState.SUCCEEDED:
+                total += 1.0
+            else:
+                running = task.running_attempts()
+                if running:
+                    total += max(a.progress for a in running)
+        return total / self.num_reduces
+
+    def map_phase_progress(self) -> float:
+        return self.completed_maps / max(self.num_maps, 1)
+
+    def failed_reduce_attempts(self) -> int:
+        return sum(1 for e in self.trace.of_kind("attempt_failed") if e.data["type"] == "reduce")
+
+    def map_locality_counts(self) -> dict[str, int]:
+        """Hadoop-style locality breakdown of successful map reads."""
+        counts = {"data-local": 0, "rack-local": 0, "off-rack": 0}
+        for task in self.map_tasks:
+            for a in task.attempts:
+                locality = getattr(a, "locality", None)
+                if locality is not None and a.state.value == "succeeded":
+                    counts[locality] += 1
+        return counts

@@ -1,0 +1,112 @@
+"""Job configuration: Table I parameters plus framework internals."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cluster.node import MB
+from repro.sim.core import SimulationError
+
+__all__ = ["JobConf"]
+
+
+@dataclass(frozen=True)
+class JobConf:
+    """MapReduce job parameters.
+
+    The first block mirrors Table I of the paper; the second block holds
+    the Hadoop shuffle/fetch-failure machinery constants whose defaults
+    are taken from Hadoop 2.2 (the paper's code base); the third holds
+    task scheduling knobs.
+    """
+
+    # -- Table I ----------------------------------------------------------
+    map_memory_mb: int = 1536          # mapreduce.map.java.opts
+    reduce_memory_mb: int = 4096       # mapreduce.reduce.java.opts
+    io_sort_factor: int = 100          # mapreduce.task.io.sort.factor
+    output_replication: int = 2        # dfs.replication for job output
+
+    # -- shuffle machinery ----------------------------------------------------
+    #: Concurrent fetcher threads per ReduceTask (mapreduce.reduce.shuffle.parallelcopies).
+    num_fetchers: int = 5
+    #: Fraction of the reduce heap used as shuffle buffer.
+    shuffle_buffer_fraction: float = 0.70
+    #: A fetched segment larger than this fraction of the buffer goes
+    #: straight to disk (mapreduce.reduce.shuffle.memory.limit.percent).
+    shuffle_single_segment_fraction: float = 0.25
+    #: In-memory merge is triggered above this buffer occupancy
+    #: (mapreduce.reduce.shuffle.merge.percent).
+    shuffle_merge_fraction: float = 0.66
+    #: Connection attempt cost against an unreachable host (seconds).
+    fetch_connect_timeout: float = 3.0
+    #: Attempts against one host before declaring a fetch failure.
+    fetch_retries_per_host: int = 4
+    #: Base of the exponential retry backoff (seconds): base * 2^k.
+    fetch_retry_base_delay: float = 3.0
+
+    # -- fetch-failure accounting (the amplification engine) -----------------
+    # Modelled on Hadoop's ShuffleSchedulerImpl.checkReducerHealth():
+    # the reducer kills itself when cumulative fetch failures dominate
+    # its progress, or when it has progressed far but then stalls.
+    #: Reducer is "unhealthy" when failures/(failures+done) >= this.
+    max_allowed_failed_fetch_fraction: float = 0.5
+    #: Stall-based suicide requires done/total >= this.
+    min_required_progress_fraction: float = 0.5
+    #: ... and no shuffle progress for at least this long (a floor over
+    #: Hadoop's 0.5 * max-map-runtime term).
+    reducer_stall_seconds: float = 45.0
+    #: Delay before a fetcher revisits a host it just failed against.
+    host_failure_penalty: float = 10.0
+    #: The AM re-executes a completed map after this many fetch-failure
+    #: reports against it.
+    map_refetch_reports: int = 3
+
+    # -- scheduling --------------------------------------------------------
+    #: Launch ReduceTasks after this fraction of maps completed
+    #: (mapreduce.job.reduce.slowstart.completedmaps).
+    slowstart_completed_maps: float = 0.05
+    #: Attempts per task before the job fails.
+    max_attempts: int = 4
+    #: Container request priorities (lower wins). Hadoop order:
+    #: fast-fail/recovery maps > reduces > normal maps.
+    map_priority: float = 20.0
+    reduce_priority: float = 10.0
+    recovery_map_priority: float = 2.0
+    recovery_reduce_priority: float = 3.0
+    #: Fixed per-task container/JVM startup cost (seconds).
+    task_startup_seconds: float = 1.0
+
+    # -- cost-model details -----------------------------------------------------
+    #: Map-side sort buffer (mapreduce.task.io.sort.mb); inputs larger
+    #: than this incur an extra spill-merge read+write pass.
+    io_sort_mb: float = 100.0 * MB
+
+    def __post_init__(self) -> None:
+        if self.map_memory_mb < 1 or self.reduce_memory_mb < 1:
+            raise SimulationError("task memory must be positive")
+        if self.io_sort_factor < 2:
+            raise SimulationError("io_sort_factor must be >= 2")
+        if self.num_fetchers < 1:
+            raise SimulationError("need at least one fetcher")
+        for frac in (self.shuffle_buffer_fraction, self.shuffle_single_segment_fraction,
+                     self.shuffle_merge_fraction, self.slowstart_completed_maps,
+                     self.max_allowed_failed_fetch_fraction,
+                     self.min_required_progress_fraction):
+            if not 0 < frac <= 1:
+                raise SimulationError(f"fraction {frac} out of (0, 1]")
+        if self.max_attempts < 1:
+            raise SimulationError("max_attempts must be >= 1")
+        if self.fetch_retries_per_host < 1:
+            raise SimulationError("fetch_retries_per_host must be >= 1")
+
+    @property
+    def shuffle_buffer_bytes(self) -> float:
+        return self.reduce_memory_mb * MB * self.shuffle_buffer_fraction
+
+    @property
+    def shuffle_merge_trigger_bytes(self) -> float:
+        return self.shuffle_buffer_bytes * self.shuffle_merge_fraction
+
+    @property
+    def shuffle_single_segment_max(self) -> float:
+        return self.shuffle_buffer_bytes * self.shuffle_single_segment_fraction

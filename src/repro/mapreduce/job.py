@@ -1,0 +1,145 @@
+"""One-call job runner: wires sim, cluster, HDFS, YARN and the AM.
+
+:class:`MapReduceRuntime` is the object the experiment drivers and
+fault injectors hold: it exposes every layer before the clock starts so
+faults and probes can be attached, then :meth:`run` drives the
+simulation to job completion and returns a :class:`JobResult`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.cluster import Cluster, ClusterSpec
+from repro.hdfs.hdfs import Hdfs, HdfsConfig
+from repro.mapreduce.appmaster import MRAppMaster
+from repro.mapreduce.config import JobConf
+from repro.mapreduce.recovery import RecoveryPolicy, YarnRecoveryPolicy
+from repro.metrics.trace import ProgressSampler, Trace
+from repro.sim.core import SimulationError, Simulator
+from repro.workloads import Workload
+from repro.yarn.rm import ResourceManager, YarnConfig
+
+__all__ = ["JobResult", "MapReduceRuntime", "run_job"]
+
+
+@dataclass
+class JobResult:
+    """Outcome and measurements of one simulated job."""
+
+    job_name: str
+    workload: str
+    policy: str
+    success: bool
+    start_time: float
+    end_time: float
+    trace: Trace
+    counters: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def elapsed(self) -> float:
+        return self.end_time - self.start_time
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        status = "ok" if self.success else "FAILED"
+        return f"<JobResult {self.job_name} {status} {self.elapsed:.1f}s>"
+
+
+class MapReduceRuntime:
+    """A fully wired simulated cluster ready to run one job."""
+
+    def __init__(
+        self,
+        workload: Workload,
+        conf: JobConf | None = None,
+        cluster_spec: ClusterSpec | None = None,
+        yarn_config: YarnConfig | None = None,
+        hdfs_config: HdfsConfig | None = None,
+        policy: RecoveryPolicy | None = None,
+        job_name: str = "job",
+        sample_interval: float = 1.0,
+        speculation: bool | "SpeculationConfig" = False,
+    ) -> None:
+        self.sim = Simulator()
+        self.cluster = Cluster(self.sim, cluster_spec or ClusterSpec())
+        if len(self.cluster.nodes) < 2:
+            raise SimulationError("need at least 2 nodes (RM/NN + 1 worker)")
+        #: Node 0 is dedicated to the RM and NameNode (paper §V-A).
+        self.master = self.cluster.nodes[0]
+        self.workers = self.cluster.nodes[1:]
+        self.hdfs = Hdfs(self.sim, self.cluster, hdfs_config or HdfsConfig())
+        self.hdfs.datanodes = list(self.workers)
+        self.rm = ResourceManager(self.sim, self.cluster, yarn_config or YarnConfig(),
+                                  worker_nodes=self.workers)
+        self.conf = conf or JobConf()
+        self.workload = workload
+        self.policy = policy or YarnRecoveryPolicy()
+        self.trace = Trace(self.sim)
+        self.job_name = job_name
+
+        input_path = f"input/{job_name}"
+        self.hdfs.ingest(input_path, workload.input_size)
+        self.am = MRAppMaster(
+            self.sim, self.cluster, self.rm, self.hdfs, workload, self.conf,
+            self.policy, self.trace, input_path=input_path, job_name=job_name,
+        )
+        self.speculator = None
+        if speculation:
+            from repro.mapreduce.speculation import SpeculationConfig, Speculator
+
+            spec_cfg = speculation if isinstance(speculation, SpeculationConfig) else None
+            self.speculator = Speculator(self.am, spec_cfg)
+        self.sampler = ProgressSampler(self.sim, self.trace, interval=sample_interval)
+        self.sampler.add_probe("reduce_progress", self.am.reduce_phase_progress)
+        self.sampler.add_probe("map_progress", self.am.map_phase_progress)
+        self.sampler.add_probe("failed_reduce_attempts",
+                               lambda: float(self.am.failed_reduce_attempts()))
+
+    def run(self, timeout: float = 100_000.0) -> JobResult:
+        """Run the job to completion (or ``timeout``) and summarise."""
+        self.sampler.start()
+        if self.speculator is not None:
+            self.speculator.start()
+        self.am.start()
+        outcome = self.sim.run(until=self.am.done)
+        self.sampler.stop()
+        if outcome is None:
+            raise SimulationError("job did not complete (ran out of events)")
+        counters = {
+            "completed_maps": self.am.completed_maps,
+            "committed_reduces": self.am.committed_reduces,
+            "failed_map_attempts": self.trace.count("attempt_failed", type="map"),
+            "failed_reduce_attempts": self.trace.count("attempt_failed", type="reduce"),
+            "map_reruns": self.trace.count("map_rerun"),
+            "nodes_lost": self.trace.count("node_lost"),
+            "fetch_failure_reports": len(self.trace.of_kind("fetch_failure_report")),
+            "map_locality": self.am.map_locality_counts(),
+        }
+        return JobResult(
+            job_name=self.job_name,
+            workload=self.workload.name,
+            policy=self.policy.name,
+            success=outcome["success"],
+            start_time=outcome["start_time"],
+            end_time=outcome["end_time"],
+            trace=self.trace,
+            counters=counters,
+        )
+
+
+def run_job(
+    workload: Workload,
+    policy: RecoveryPolicy | None = None,
+    faults=None,
+    **runtime_kwargs: Any,
+) -> JobResult:
+    """Convenience wrapper: build a runtime, install faults, run.
+
+    ``faults`` is an iterable of objects with an ``install(runtime)``
+    method (see :mod:`repro.faults`).
+    """
+    rt = MapReduceRuntime(workload, policy=policy, **runtime_kwargs)
+    for fault in faults or ():
+        fault.install(rt)
+    return rt.run()

@@ -1,0 +1,72 @@
+"""Map Output Files (MOFs) and the AppMaster's registry of them.
+
+A MOF is the sorted, partitioned output a MapTask leaves on its node's
+local disk; each ReduceTask later fetches exactly one partition from
+every MOF. The registry is the AM's (possibly *stale*) view: stock YARN
+does not invalidate entries when a node dies — reducers discover the
+loss through fetch failures, which is the root of the paper's failure
+amplification.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.cluster.node import Node
+
+__all__ = ["MapOutput", "MOFRegistry"]
+
+
+@dataclass
+class MapOutput:
+    """One map's output file: location and per-reducer partition sizes."""
+
+    map_id: int
+    attempt_id: str
+    node: Node
+    partition_sizes: np.ndarray
+
+    @property
+    def total_size(self) -> float:
+        return float(self.partition_sizes.sum())
+
+    @property
+    def path(self) -> str:
+        return f"mof/{self.map_id}/{self.attempt_id}"
+
+    def partition(self, reducer_index: int) -> float:
+        return float(self.partition_sizes[reducer_index])
+
+    def on_disk(self) -> bool:
+        """Whether the bytes are physically still there."""
+        return self.node.has_file(self.path)
+
+
+class MOFRegistry:
+    """The AM's map-output location table."""
+
+    def __init__(self) -> None:
+        self._by_map: dict[int, MapOutput] = {}
+
+    def register(self, mof: MapOutput) -> None:
+        self._by_map[mof.map_id] = mof
+
+    def get(self, map_id: int) -> MapOutput | None:
+        return self._by_map.get(map_id)
+
+    def invalidate(self, map_id: int) -> None:
+        self._by_map.pop(map_id, None)
+
+    def known_map_ids(self) -> list[int]:
+        return list(self._by_map)
+
+    def on_node(self, node: Node) -> list[MapOutput]:
+        return [m for m in self._by_map.values() if m.node is node]
+
+    def __len__(self) -> int:
+        return len(self._by_map)
+
+    def __contains__(self, map_id: int) -> bool:
+        return map_id in self._by_map

@@ -1,0 +1,75 @@
+"""Export job traces and results to JSON/CSV for external analysis."""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import TYPE_CHECKING, Any
+
+from repro.metrics.trace import Trace
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.mapreduce.job import JobResult
+
+__all__ = ["export_result_json", "export_series_csv", "result_summary", "trace_records"]
+
+
+def trace_records(trace: Trace) -> list[dict[str, Any]]:
+    """Flatten trace events into JSON-serialisable records."""
+    return [
+        {"time": e.time, "kind": e.kind, **_jsonable(e.data)}
+        for e in trace.events
+    ]
+
+
+def result_summary(result: "JobResult") -> dict[str, Any]:
+    """Compact job summary (no per-event detail)."""
+    return {
+        "job_name": result.job_name,
+        "workload": result.workload,
+        "policy": result.policy,
+        "success": result.success,
+        "elapsed": result.elapsed,
+        "start_time": result.start_time,
+        "end_time": result.end_time,
+        "counters": dict(result.counters),
+    }
+
+
+def export_result_json(result: "JobResult", path: str | Path,
+                       include_events: bool = True,
+                       include_series: bool = True) -> Path:
+    """Write a full job report as JSON; returns the path written."""
+    payload: dict[str, Any] = {"summary": result_summary(result)}
+    if include_events:
+        payload["events"] = trace_records(result.trace)
+    if include_series:
+        payload["series"] = {
+            name: [{"time": t, "value": v} for t, v in points]
+            for name, points in result.trace.series.items()
+        }
+    path = Path(path)
+    path.write_text(json.dumps(payload, indent=2, default=str))
+    return path
+
+
+def export_series_csv(trace: Trace, name: str, path: str | Path) -> Path:
+    """Write one sampled series (e.g. ``reduce_progress``) as CSV."""
+    points = trace.series_values(name)
+    path = Path(path)
+    with path.open("w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(["time", name])
+        writer.writerows(points)
+    return path
+
+
+def _jsonable(data: dict[str, Any]) -> dict[str, Any]:
+    out = {}
+    for k, v in data.items():
+        if isinstance(v, (str, int, float, bool)) or v is None:
+            out[k] = v
+        else:
+            out[k] = str(v)
+    return out

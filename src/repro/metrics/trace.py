@@ -1,0 +1,104 @@
+"""Structured event trace for a simulated job.
+
+Everything the experiment drivers report — recovery timelines (Figs. 3,
+10), additional-failure counts (Fig. 4, Table II), phase durations — is
+derived from this trace rather than ad-hoc counters, so tests and
+benchmarks read the same source of truth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable
+
+from repro.sim.core import Simulator
+
+__all__ = ["ProgressSampler", "Trace", "TraceEvent"]
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    time: float
+    kind: str
+    data: dict[str, Any]
+
+    def __getitem__(self, key: str) -> Any:
+        return self.data[key]
+
+
+class Trace:
+    """Append-only log of job events plus sampled time series."""
+
+    def __init__(self, sim: Simulator) -> None:
+        self.sim = sim
+        self.events: list[TraceEvent] = []
+        self.series: dict[str, list[tuple[float, float]]] = {}
+
+    # -- events -----------------------------------------------------------
+    def log(self, kind: str, **data: Any) -> None:
+        self.events.append(TraceEvent(self.sim.now, kind, data))
+
+    def of_kind(self, kind: str) -> list[TraceEvent]:
+        return [e for e in self.events if e.kind == kind]
+
+    def count(self, kind: str, **match: Any) -> int:
+        return sum(1 for e in self.of_kind(kind) if all(e.data.get(k) == v for k, v in match.items()))
+
+    def first(self, kind: str, **match: Any) -> TraceEvent | None:
+        for e in self.of_kind(kind):
+            if all(e.data.get(k) == v for k, v in match.items()):
+                return e
+        return None
+
+    def last(self, kind: str, **match: Any) -> TraceEvent | None:
+        found = None
+        for e in self.of_kind(kind):
+            if all(e.data.get(k) == v for k, v in match.items()):
+                found = e
+        return found
+
+    def times(self, kind: str, **match: Any) -> list[float]:
+        return [e.time for e in self.of_kind(kind) if all(e.data.get(k) == v for k, v in match.items())]
+
+    # -- series ----------------------------------------------------------
+    def sample(self, name: str, value: float) -> None:
+        self.series.setdefault(name, []).append((self.sim.now, float(value)))
+
+    def series_values(self, name: str) -> list[tuple[float, float]]:
+        return list(self.series.get(name, []))
+
+
+class ProgressSampler:
+    """Periodically samples callables into trace series (e.g. the reduce
+    progress curves plotted in Figs. 3, 4 and 10)."""
+
+    def __init__(self, sim: Simulator, trace: Trace, interval: float = 1.0) -> None:
+        self.sim = sim
+        self.trace = trace
+        self.interval = interval
+        self._probes: dict[str, Any] = {}
+        self._running = False
+
+    def add_probe(self, name: str, fn) -> None:
+        self._probes[name] = fn
+
+    def start(self) -> None:
+        if not self._running:
+            self._running = True
+            self.sim.process(self._loop(), name="progress-sampler")
+
+    def stop(self) -> None:
+        self._running = False
+
+    def _loop(self):
+        while self._running:
+            for name, fn in self._probes.items():
+                self.trace.sample(name, fn())
+            yield self.sim.timeout(self.interval)
+
+
+def phase_durations(events: Iterable[TraceEvent], start_kind: str, end_kind: str) -> list[float]:
+    """Pair up start/end events in order and return durations."""
+    starts = [e.time for e in events if e.kind == start_kind]
+    ends = [e.time for e in events if e.kind == end_kind]
+    return [b - a for a, b in zip(starts, ends)]

@@ -1,0 +1,411 @@
+"""Core discrete-event simulation engine.
+
+The engine follows the classic event-list design: a binary heap of
+``(time, priority, sequence, event)`` tuples, popped in order. Model
+code is written as generator coroutines wrapped in :class:`Process`;
+each ``yield``ed :class:`Event` suspends the process until the event is
+processed, at which point the event's value is sent back into the
+generator (or its exception thrown into it).
+
+Only simulation-domain concepts live here; bandwidth sharing and
+resources are layered on top in sibling modules.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections.abc import Callable, Generator, Iterable
+from typing import Any
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "Event",
+    "Interrupt",
+    "Process",
+    "SimulationError",
+    "Simulator",
+    "Timeout",
+]
+
+#: Priority used for ordinary events.
+NORMAL = 1
+#: Priority used for high-urgency events (process interrupts).
+URGENT = 0
+
+
+class SimulationError(Exception):
+    """Raised for misuse of the simulation kernel."""
+
+
+class Interrupt(Exception):
+    """Thrown into a process when :meth:`Process.interrupt` is called.
+
+    The ``cause`` attribute carries the value passed to ``interrupt``.
+    """
+
+    @property
+    def cause(self) -> Any:
+        return self.args[0] if self.args else None
+
+
+class Event:
+    """An occurrence at a point in simulated time.
+
+    Events move through three states: *pending* (created, not yet
+    triggered), *triggered* (scheduled on the event list with a value or
+    an exception) and *processed* (callbacks have run). Processes wait
+    on events by yielding them.
+    """
+
+    __slots__ = ("sim", "callbacks", "_value", "_exc", "_triggered", "_processed", "_defused")
+
+    def __init__(self, sim: "Simulator") -> None:
+        self.sim = sim
+        self.callbacks: list[Callable[[Event], None]] | None = []
+        self._value: Any = None
+        self._exc: BaseException | None = None
+        self._triggered = False
+        self._processed = False
+        self._defused = False
+
+    # -- state inspection ------------------------------------------------
+    @property
+    def triggered(self) -> bool:
+        """True once the event has been scheduled with a value/exception."""
+        return self._triggered
+
+    @property
+    def processed(self) -> bool:
+        """True once callbacks have been invoked."""
+        return self._processed
+
+    @property
+    def ok(self) -> bool:
+        """True if the event was triggered successfully."""
+        return self._triggered and self._exc is None
+
+    @property
+    def value(self) -> Any:
+        if not self._triggered:
+            raise SimulationError("value is not available until the event triggers")
+        if self._exc is not None:
+            raise self._exc
+        return self._value
+
+    # -- triggering ------------------------------------------------------
+    def succeed(self, value: Any = None) -> "Event":
+        """Trigger the event successfully with ``value``."""
+        if self._triggered:
+            raise SimulationError(f"{self!r} has already been triggered")
+        self._triggered = True
+        self._value = value
+        self.sim._schedule(self, NORMAL, 0.0)
+        return self
+
+    def fail(self, exc: BaseException) -> "Event":
+        """Trigger the event with an exception.
+
+        If no process ever waits on the failed event and it is not
+        :meth:`defused <defuse>`, the exception propagates out of
+        :meth:`Simulator.run` — silent failures are bugs.
+        """
+        if not isinstance(exc, BaseException):
+            raise SimulationError(f"fail() requires an exception, got {exc!r}")
+        if self._triggered:
+            raise SimulationError(f"{self!r} has already been triggered")
+        self._triggered = True
+        self._exc = exc
+        self.sim._schedule(self, NORMAL, 0.0)
+        return self
+
+    def defuse(self) -> None:
+        """Mark a failed event as handled even if nobody waits on it."""
+        self._defused = True
+
+    # -- callback plumbing -------------------------------------------------
+    def _add_callback(self, cb: Callable[["Event"], None]) -> None:
+        if self.callbacks is None:
+            # Already processed: run immediately at the current time.
+            cb(self)
+        else:
+            self.callbacks.append(cb)
+
+    def _remove_callback(self, cb: Callable[["Event"], None]) -> None:
+        if self.callbacks is not None and cb in self.callbacks:
+            self.callbacks.remove(cb)
+
+    def _process(self) -> None:
+        callbacks, self.callbacks = self.callbacks, None
+        self._processed = True
+        for cb in callbacks or ():
+            cb(self)
+        if self._exc is not None and not callbacks and not self._defused:
+            raise self._exc
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "processed" if self._processed else ("triggered" if self._triggered else "pending")
+        return f"<{type(self).__name__} {state} at {hex(id(self))}>"
+
+
+class Timeout(Event):
+    """An event that triggers ``delay`` time units after creation."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, sim: "Simulator", delay: float, value: Any = None) -> None:
+        if delay < 0:
+            raise SimulationError(f"negative timeout delay: {delay}")
+        super().__init__(sim)
+        self.delay = delay
+        self._triggered = True
+        self._value = value
+        sim._schedule(self, NORMAL, delay)
+
+
+class Initialize(Event):
+    """Internal event that starts a freshly created process."""
+
+    __slots__ = ()
+
+    def __init__(self, sim: "Simulator", process: "Process") -> None:
+        super().__init__(sim)
+        self.callbacks.append(process._resume)
+        self._triggered = True
+        sim._schedule(self, URGENT, 0.0)
+
+
+class _InterruptEvent(Event):
+    """Internal event that throws :class:`Interrupt` into a process."""
+
+    __slots__ = ()
+
+    def __init__(self, sim: "Simulator", process: "Process", cause: Any) -> None:
+        super().__init__(sim)
+        self.callbacks.append(process._resume)
+        self._triggered = True
+        self._exc = Interrupt(cause)
+        self._defused = True
+        sim._schedule(self, URGENT, 0.0)
+
+
+class Process(Event):
+    """A running generator coroutine; also an event that triggers when
+    the generator returns (value = return value) or raises.
+    """
+
+    __slots__ = ("gen", "name", "_target")
+
+    def __init__(self, sim: "Simulator", gen: Generator[Event, Any, Any], name: str | None = None) -> None:
+        if not hasattr(gen, "throw"):
+            raise SimulationError(f"{gen!r} is not a generator")
+        super().__init__(sim)
+        self.gen = gen
+        self.name = name or getattr(gen, "__name__", "process")
+        #: The event this process is currently waiting on, if any.
+        self._target: Event | None = None
+        Initialize(sim, self)
+
+    @property
+    def is_alive(self) -> bool:
+        return not self._triggered
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current time.
+
+        Interrupting a finished process is an error; interrupting a
+        process that is waiting on an event detaches it from that event
+        first (the event may still trigger, but will not resume this
+        process for that wait).
+        """
+        if self._triggered:
+            raise SimulationError(f"cannot interrupt finished process {self.name!r}")
+        _InterruptEvent(self.sim, self, cause)
+
+    def _resume(self, event: Event) -> None:
+        if self._triggered:
+            # Process already ended (e.g. interrupt raced with completion).
+            return
+        # Detach from the current target; an interrupt may arrive while we
+        # are still registered on another event.
+        if self._target is not None and self._target is not event:
+            self._target._remove_callback(self._resume)
+            if not self._target.callbacks:
+                # Abandoned with no other listeners: a later failure of
+                # this event is expected fallout (e.g. flows cancelled
+                # during cleanup), not an unhandled error.
+                self._target._defused = True
+        self._target = None
+
+        self.sim._active_process = self
+        try:
+            if event._exc is not None:
+                event._defused = True
+                next_ev = self.gen.throw(event._exc)
+            else:
+                next_ev = self.gen.send(event._value)
+        except StopIteration as stop:
+            self.sim._active_process = None
+            self._triggered = True
+            self._value = stop.value
+            self.sim._schedule(self, NORMAL, 0.0)
+            return
+        except BaseException as exc:
+            self.sim._active_process = None
+            self._triggered = True
+            self._exc = exc
+            self.sim._schedule(self, NORMAL, 0.0)
+            return
+        self.sim._active_process = None
+
+        if not isinstance(next_ev, Event):
+            raise SimulationError(
+                f"process {self.name!r} yielded a non-event: {next_ev!r}"
+            )
+        if next_ev.sim is not self.sim:
+            raise SimulationError("cannot wait on an event from another simulator")
+        self._target = next_ev
+        next_ev._add_callback(self._resume)
+
+
+class Condition(Event):
+    """Base for composite events over a fixed set of child events."""
+
+    __slots__ = ("events", "_remaining")
+
+    def __init__(self, sim: "Simulator", events: Iterable[Event]) -> None:
+        super().__init__(sim)
+        self.events = list(events)
+        for ev in self.events:
+            if ev.sim is not sim:
+                raise SimulationError("all condition events must share one simulator")
+        self._remaining = len(self.events)
+        if not self.events:
+            self.succeed(self._collect())
+            return
+        for ev in self.events:
+            ev._add_callback(self._check)
+
+    def _collect(self) -> list[Any]:
+        return [ev._value for ev in self.events if ev._triggered and ev._exc is None]
+
+    def _check(self, event: Event) -> None:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+
+class AllOf(Condition):
+    """Triggers when every child event has triggered; value is the list
+    of child values in their original order. Fails fast if any child
+    fails.
+    """
+
+    __slots__ = ()
+
+    def _check(self, event: Event) -> None:
+        if self._triggered:
+            return
+        if event._exc is not None:
+            event._defused = True
+            self.fail(event._exc)
+            return
+        self._remaining -= 1
+        if self._remaining == 0:
+            self.succeed([ev._value for ev in self.events])
+
+
+class AnyOf(Condition):
+    """Triggers when the first child event triggers; value is that
+    child's value. Fails if the first child to trigger fails.
+    """
+
+    __slots__ = ()
+
+    def _check(self, event: Event) -> None:
+        if self._triggered:
+            return
+        if event._exc is not None:
+            event._defused = True
+            self.fail(event._exc)
+            return
+        self.succeed(event._value)
+
+
+class Simulator:
+    """Owns simulated time and the pending-event heap."""
+
+    def __init__(self) -> None:
+        self._now = 0.0
+        self._heap: list[tuple[float, int, int, Event]] = []
+        self._seq = 0
+        self._active_process: Process | None = None
+
+    @property
+    def now(self) -> float:
+        """Current simulated time."""
+        return self._now
+
+    @property
+    def active_process(self) -> Process | None:
+        return self._active_process
+
+    # -- event construction ------------------------------------------------
+    def event(self) -> Event:
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        return Timeout(self, delay, value)
+
+    def process(self, gen: Generator[Event, Any, Any], name: str | None = None) -> Process:
+        """Start running ``gen`` as a process at the current time."""
+        return Process(self, gen, name=name)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        return AllOf(self, events)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        return AnyOf(self, events)
+
+    # -- scheduling ----------------------------------------------------------
+    def _schedule(self, event: Event, priority: int, delay: float) -> None:
+        self._seq += 1
+        heapq.heappush(self._heap, (self._now + delay, priority, self._seq, event))
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` if none."""
+        return self._heap[0][0] if self._heap else float("inf")
+
+    def step(self) -> None:
+        """Process exactly one event."""
+        if not self._heap:
+            raise SimulationError("no scheduled events")
+        when, _, _, event = heapq.heappop(self._heap)
+        self._now = when
+        event._process()
+
+    def run(self, until: float | Event | None = None) -> Any:
+        """Run until the heap drains, ``until`` time passes, or an
+        ``until`` event triggers (returning its value).
+        """
+        stop_event: Event | None = None
+        stop_time = float("inf")
+        if isinstance(until, Event):
+            stop_event = until
+        elif until is not None:
+            stop_time = float(until)
+            if stop_time < self._now:
+                raise SimulationError(f"until={stop_time} is in the past (now={self._now})")
+
+        while self._heap:
+            if stop_event is not None and stop_event._processed:
+                return stop_event.value
+            if self._heap[0][0] > stop_time:
+                self._now = stop_time
+                return None
+            self.step()
+        if stop_event is not None:
+            if stop_event._processed:
+                return stop_event.value
+            raise SimulationError("simulation ran out of events before `until` event triggered")
+        if stop_time != float("inf"):
+            self._now = stop_time
+        return None

@@ -1,0 +1,265 @@
+"""Max-min fair bandwidth sharing for disks and network links.
+
+Data movement in the cluster model is a *fluid* approximation: a
+:class:`Flow` carries ``size`` bytes through an ordered set of
+:class:`LinkResource` objects (source disk, source NIC egress,
+destination NIC ingress, ...). At any instant every active flow
+receives its **max-min fair** rate, computed by progressive filling:
+repeatedly find the most-contended resource, freeze all its flows at
+the equal share, subtract, and continue. Rates are recomputed whenever
+a flow starts, finishes or is cancelled, and whenever a resource's
+capacity changes — between such events all rates are constant, so flow
+completions can be scheduled exactly.
+
+This fluid model is standard in cluster simulators; it preserves the
+qualitative behaviour the reproduction needs (disk-bound merging,
+NIC-bound shuffles, contention slowdowns) without per-packet events.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from typing import Any, Iterable
+
+from repro.sim.core import Event, SimulationError, Simulator
+
+__all__ = ["Flow", "FlowCancelled", "FlowScheduler", "LinkResource"]
+
+#: Relative tolerance for declaring a flow complete.
+_EPS = 1e-9
+
+
+class FlowCancelled(Exception):
+    """Failure payload delivered to waiters of a cancelled flow."""
+
+    def __init__(self, flow: "Flow", reason: str = "") -> None:
+        super().__init__(reason or f"flow {flow.name} cancelled")
+        self.flow = flow
+        self.reason = reason
+
+
+class LinkResource:
+    """A capacity-limited bandwidth resource (bytes/second).
+
+    One instance models one contended device direction: a disk's
+    aggregate bandwidth, a NIC's egress, a NIC's ingress, etc.
+    """
+
+    __slots__ = ("name", "_capacity", "_scheduler")
+
+    def __init__(self, name: str, capacity: float) -> None:
+        if capacity <= 0:
+            raise SimulationError(f"link capacity must be > 0, got {capacity}")
+        self.name = name
+        self._capacity = float(capacity)
+        self._scheduler: "FlowScheduler | None" = None
+
+    @property
+    def capacity(self) -> float:
+        return self._capacity
+
+    def set_capacity(self, capacity: float) -> None:
+        """Change capacity at the current simulated time (e.g. a slow
+        disk on a faulty node). Active flows are re-shared immediately.
+        """
+        if capacity <= 0:
+            raise SimulationError(f"link capacity must be > 0, got {capacity}")
+        self._capacity = float(capacity)
+        if self._scheduler is not None:
+            self._scheduler._reshare()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<LinkResource {self.name} {self._capacity:.3g} B/s>"
+
+
+class Flow:
+    """An in-flight transfer of ``size`` bytes across resources."""
+
+    __slots__ = ("name", "size", "remaining", "rate", "resources", "done", "_active", "_sched")
+
+    def __init__(self, name: str, size: float, resources: tuple[LinkResource, ...], done: Event) -> None:
+        self.name = name
+        self.size = float(size)
+        self.remaining = float(size)
+        self.rate = 0.0
+        self.resources = resources
+        #: Event triggered when the transfer completes (value: the flow)
+        #: or fails with :class:`FlowCancelled`.
+        self.done = done
+        self._active = True
+        self._sched: "FlowScheduler | None" = None
+
+    @property
+    def transferred(self) -> float:
+        """Bytes moved so far, accurate at the current simulated time."""
+        remaining = self.remaining
+        if self._active and self._sched is not None and self.rate > 0:
+            dt = self._sched.sim.now - self._sched._last_update
+            if dt > 0:
+                remaining = max(0.0, remaining - self.rate * dt)
+        return self.size - remaining
+
+    @property
+    def progress(self) -> float:
+        return 1.0 if self.size == 0 else self.transferred / self.size
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Flow {self.name} {self.remaining:.3g}/{self.size:.3g}B @{self.rate:.3g}B/s>"
+
+
+class FlowScheduler:
+    """Tracks active flows and keeps their max-min rates current."""
+
+    def __init__(self, sim: Simulator) -> None:
+        self.sim = sim
+        self._active: list[Flow] = []
+        self._last_update = sim.now
+        self._timer_version = 0
+        self._names = itertools.count()
+
+    @property
+    def active_flows(self) -> tuple[Flow, ...]:
+        return tuple(self._active)
+
+    def transfer(
+        self,
+        size: float,
+        resources: Iterable[LinkResource],
+        name: str | None = None,
+        rate_cap: float | None = None,
+    ) -> Flow:
+        """Start moving ``size`` bytes through ``resources``.
+
+        ``rate_cap`` bounds this flow's own rate regardless of
+        contention (e.g. a memory-to-memory copy limited by memcpy
+        bandwidth); it is implemented as a private single-flow resource
+        so the fairness computation stays uniform.
+        """
+        if size < 0:
+            raise SimulationError(f"flow size must be >= 0, got {size}")
+        res = tuple(resources)
+        if rate_cap is not None:
+            res = res + (LinkResource(f"cap-{name or next(self._names)}", rate_cap),)
+        if not res:
+            raise SimulationError("a flow needs at least one resource or a rate_cap")
+        for r in res:
+            if r._scheduler is None:
+                r._scheduler = self
+            elif r._scheduler is not self:
+                raise SimulationError(f"{r!r} belongs to another FlowScheduler")
+        done = self.sim.event()
+        flow = Flow(name or f"flow-{next(self._names)}", size, res, done)
+        flow._sched = self
+        if size == 0:
+            flow._active = False
+            done.succeed(flow)
+            return flow
+        self._advance()
+        self._active.append(flow)
+        self._recompute()
+        return flow
+
+    def cancel(self, flow: Flow, reason: str = "") -> None:
+        """Abort a flow; its ``done`` event fails with :class:`FlowCancelled`."""
+        if not flow._active:
+            return
+        self._advance()
+        flow._active = False
+        self._active.remove(flow)
+        exc = FlowCancelled(flow, reason)
+        flow.done.defuse()
+        flow.done.fail(exc)
+        self._recompute()
+
+    def cancel_flows_using(self, resource: LinkResource, reason: str = "") -> list[Flow]:
+        """Cancel every active flow routed through ``resource`` (node death)."""
+        victims = [f for f in self._active if resource in f.resources]
+        for f in victims:
+            self.cancel(f, reason)
+        return victims
+
+    # -- internals ---------------------------------------------------------
+    def _advance(self) -> None:
+        """Account progress made since the last rate change."""
+        now = self.sim.now
+        dt = now - self._last_update
+        self._last_update = now
+        if dt <= 0:
+            return
+        for f in self._active:
+            f.remaining = max(0.0, f.remaining - f.rate * dt)
+
+    def _reshare(self) -> None:
+        """Re-run fairness after an external capacity change."""
+        self._advance()
+        self._complete_finished()
+        self._recompute()
+
+    def _complete_finished(self) -> None:
+        finished = [f for f in self._active if f.remaining <= _EPS * max(f.size, 1.0)]
+        for f in finished:
+            f.remaining = 0.0
+            f._active = False
+            self._active.remove(f)
+        # Trigger completions after bookkeeping so callbacks observing the
+        # scheduler see a consistent state.
+        for f in finished:
+            f.done.succeed(f)
+
+    def _recompute(self) -> None:
+        """Progressive-filling max-min allocation over active flows."""
+        flows = self._active
+        if not flows:
+            return
+        res_flows: dict[LinkResource, list[Flow]] = {}
+        for f in flows:
+            for r in f.resources:
+                res_flows.setdefault(r, []).append(f)
+        remaining_cap = {r: r.capacity for r in res_flows}
+        unfrozen_count = {r: len(fl) for r, fl in res_flows.items()}
+        unfrozen = set(map(id, flows))
+        rate: dict[int, float] = {}
+
+        while unfrozen:
+            bottleneck: LinkResource | None = None
+            best_share = math.inf
+            for r, cnt in unfrozen_count.items():
+                if cnt > 0:
+                    share = max(remaining_cap[r], 0.0) / cnt
+                    if share < best_share:
+                        best_share = share
+                        bottleneck = r
+            if bottleneck is None:  # pragma: no cover - defensive
+                break
+            for f in res_flows[bottleneck]:
+                if id(f) in unfrozen:
+                    unfrozen.discard(id(f))
+                    rate[id(f)] = best_share
+                    for r2 in f.resources:
+                        remaining_cap[r2] -= best_share
+                        unfrozen_count[r2] -= 1
+            unfrozen_count[bottleneck] = 0
+
+        for f in flows:
+            f.rate = rate.get(id(f), 0.0)
+        self._schedule_timer()
+
+    def _schedule_timer(self) -> None:
+        self._timer_version += 1
+        version = self._timer_version
+        horizon = math.inf
+        for f in self._active:
+            if f.rate > 0:
+                horizon = min(horizon, f.remaining / f.rate)
+        if not math.isfinite(horizon):
+            return
+
+        def fire(_event: Event) -> None:
+            if version != self._timer_version:
+                return
+            self._advance()
+            self._complete_finished()
+            self._recompute()
+
+        self.sim.timeout(max(horizon, 0.0))._add_callback(fire)

@@ -1,0 +1,23 @@
+"""Parametric models of the paper's three benchmarks.
+
+The evaluation (§V-A) uses Terasort, Wordcount and Secondarysort. For
+the phenomena under study only their coarse resource shapes matter:
+
+- **Terasort** — shuffle-heavy identity job: map output ≈ map input,
+  cheap map/reduce functions, many reducers (Table II runs 20).
+- **Wordcount** — combiner collapses map output dramatically, a single
+  (or few) long-running reducer(s), CPU-heavier map (tokenising).
+- **Secondarysort** — full shuffle volume with an expensive reduce
+  function (composite-key grouping), so reduce-stage progress dominates
+  — which is why ALG's reduce-stage logs help it most (Fig. 15).
+"""
+
+from repro.workloads.workload import (
+    Workload,
+    secondarysort,
+    terasort,
+    wordcount,
+    BENCHMARKS,
+)
+
+__all__ = ["BENCHMARKS", "Workload", "secondarysort", "terasort", "wordcount"]

@@ -1,0 +1,25 @@
+"""YARN resource-management layer.
+
+Implements the pieces of YARN the paper's mechanisms live in: a
+:class:`~repro.yarn.rm.ResourceManager` that grants memory-sized
+containers against per-node capacity, :class:`~repro.yarn.rm.NodeManager`
+bookkeeping with heartbeats, and the liveness monitor whose expiry
+timeout (~70 s in the paper's traces) is the first leg of the temporal
+failure-amplification timeline (Fig. 3).
+"""
+
+from repro.yarn.rm import (
+    Container,
+    ContainerKilled,
+    NodeManager,
+    ResourceManager,
+    YarnConfig,
+)
+
+__all__ = [
+    "Container",
+    "ContainerKilled",
+    "NodeManager",
+    "ResourceManager",
+    "YarnConfig",
+]

@@ -1,0 +1,332 @@
+"""ResourceManager, NodeManagers, containers and node liveness."""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+from repro.cluster import Cluster
+from repro.cluster.node import Node
+from repro.sim.core import Event, SimulationError, Simulator
+
+__all__ = ["Container", "ContainerKilled", "NodeManager", "ResourceManager", "YarnConfig"]
+
+
+@dataclass(frozen=True)
+class YarnConfig:
+    """Table I parameters plus the control-plane timings.
+
+    ``nm_liveness_timeout`` is how long the RM waits after the last NM
+    heartbeat before declaring the node lost. Stock YARN defaults to
+    600 s; the paper's Fig. 3 timeline shows ~70 s, so that is our
+    default.
+    """
+
+    min_allocation_mb: int = 1024
+    max_allocation_mb: int = 6144
+    nm_heartbeat_interval: float = 1.0
+    nm_liveness_timeout: float = 70.0
+    allocation_latency: float = 1.0
+    #: Fraction of node memory usable for containers (OS/daemon headroom).
+    nm_memory_fraction: float = 0.92
+    #: Max nodes simultaneously reserved for starving big requests.
+    #: 0 disables reservations (the default: with wave-boundary grants
+    #: the big reduce containers don't starve, and reservations idle
+    #: capacity the maps could use).
+    max_reserved_nodes: int = 0
+
+    def __post_init__(self) -> None:
+        if self.min_allocation_mb < 1 or self.max_allocation_mb < self.min_allocation_mb:
+            raise SimulationError("invalid allocation bounds")
+        if self.nm_heartbeat_interval <= 0 or self.nm_liveness_timeout <= 0:
+            raise SimulationError("heartbeat timings must be positive")
+
+
+class ContainerKilled(Exception):
+    """Raised into waiters when a container dies (node loss or preempt)."""
+
+    def __init__(self, container: "Container", reason: str) -> None:
+        super().__init__(f"{container} killed: {reason}")
+        self.container = container
+        self.reason = reason
+
+
+class Container:
+    """A granted chunk of memory on one node.
+
+    ``killed`` triggers (fails) if the node is lost or the container is
+    preempted; task processes race their work against it.
+    """
+
+    _ids = itertools.count(1)
+
+    def __init__(self, node: Node, memory_mb: int, sim: Simulator) -> None:
+        self.container_id = next(Container._ids)
+        self.node = node
+        self.memory_mb = memory_mb
+        self.killed: Event = sim.event()
+        self.released = False
+
+    @property
+    def alive(self) -> bool:
+        return not self.released and not self.killed.triggered
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Container {self.container_id} {self.memory_mb}MB on {self.node.name}>"
+
+
+class NodeManager:
+    """Per-node agent: capacity bookkeeping and heartbeats."""
+
+    def __init__(self, node: Node, config: YarnConfig, sim: Simulator) -> None:
+        self.node = node
+        self.sim = sim
+        self.config = config
+        self.capacity_mb = int(node.spec.memory_mb * config.nm_memory_fraction)
+        self.used_mb = 0
+        self.containers: list[Container] = []
+        self.last_heartbeat = sim.now
+        self.lost = False
+
+    @property
+    def available_mb(self) -> int:
+        return self.capacity_mb - self.used_mb
+
+    def allocate(self, memory_mb: int) -> Container:
+        if self.lost or not self.node.alive:
+            raise SimulationError(f"allocate on lost {self.node.name}")
+        if memory_mb > self.available_mb:
+            raise SimulationError(f"{self.node.name} lacks {memory_mb}MB")
+        c = Container(self.node, memory_mb, self.sim)
+        self.used_mb += memory_mb
+        self.containers.append(c)
+        return c
+
+    def release(self, container: Container) -> None:
+        if container.released:
+            return
+        container.released = True
+        if container in self.containers:
+            self.containers.remove(container)
+            self.used_mb -= container.memory_mb
+
+    def kill_all(self, reason: str) -> list[Container]:
+        victims = list(self.containers)
+        for c in victims:
+            self.containers.remove(c)
+            self.used_mb -= c.memory_mb
+            c.released = True
+            if not c.killed.triggered:
+                c.killed.defuse()
+                c.killed.fail(ContainerKilled(c, reason))
+        return victims
+
+
+@dataclass(order=True)
+class _PendingRequest:
+    priority: float
+    seq: int
+    memory_mb: int = field(compare=False)
+    preferred: tuple[Node, ...] = field(compare=False)
+    grant: Event = field(compare=False)
+    cancelled: bool = field(compare=False, default=False)
+    excluded: set[int] = field(compare=False, default_factory=set)
+
+
+class ResourceManager:
+    """Grants containers and watches NM liveness.
+
+    Scheduling is event-driven (requests are matched as soon as
+    capacity exists) with a fixed ``allocation_latency`` charged per
+    grant to stand in for the AM->RM->NM round trips of real YARN.
+    """
+
+    def __init__(self, sim: Simulator, cluster: Cluster, config: YarnConfig | None = None,
+                 worker_nodes: list[Node] | None = None) -> None:
+        self.sim = sim
+        self.cluster = cluster
+        self.config = config or YarnConfig()
+        workers = worker_nodes if worker_nodes is not None else cluster.nodes
+        self.node_managers: dict[int, NodeManager] = {
+            n.node_id: NodeManager(n, self.config, sim) for n in workers
+        }
+        self._pending: list[_PendingRequest] = []
+        #: node_id -> request that reserved it (big-container starvation
+        #: guard, like YARN's reserved containers): while a reservation
+        #: holds, lower-priority requests cannot backfill that node.
+        self._reservations: dict[int, _PendingRequest] = {}
+        self._seq = itertools.count()
+        #: Listeners invoked as fn(node) when the RM declares a node lost.
+        self.node_lost_listeners: list = []
+        self._lost_nodes: set[int] = set()
+        for nm in self.node_managers.values():
+            sim.process(self._heartbeat_loop(nm), name=f"hb:{nm.node.name}")
+        sim.process(self._liveness_monitor(), name="rm-liveness")
+
+    # -- container lifecycle ----------------------------------------------
+    def request_container(
+        self,
+        memory_mb: int,
+        priority: float = 10.0,
+        preferred_nodes: list[Node] | None = None,
+        exclude_nodes: list[Node] | None = None,
+    ) -> Event:
+        """Ask for a container; the returned event's value is the
+        :class:`Container` once granted (after ``allocation_latency``).
+        """
+        cfg = self.config
+        memory_mb = max(cfg.min_allocation_mb, min(int(memory_mb), cfg.max_allocation_mb))
+        req = _PendingRequest(
+            priority=priority,
+            seq=next(self._seq),
+            memory_mb=memory_mb,
+            preferred=tuple(preferred_nodes or ()),
+            grant=self.sim.event(),
+        )
+        if exclude_nodes:
+            req.excluded = {n.node_id for n in exclude_nodes}
+            req.preferred = tuple(n for n in req.preferred if n.node_id not in req.excluded)
+        self._pending.append(req)
+        self._pending.sort()
+        self._match()
+        return req.grant
+
+    def cancel_request(self, grant: Event) -> None:
+        for req in self._pending:
+            if req.grant is grant:
+                req.cancelled = True
+                return
+
+    def release_container(self, container: Container) -> None:
+        nm = self.node_managers.get(container.node.node_id)
+        if nm is not None:
+            nm.release(container)
+        self._match()
+
+    def available_mb(self) -> int:
+        return sum(nm.available_mb for nm in self.node_managers.values() if not nm.lost)
+
+    def healthy_nodes(self) -> list[Node]:
+        return [nm.node for nm in self.node_managers.values() if not nm.lost and nm.node.alive]
+
+    def is_lost(self, node: Node) -> bool:
+        return node.node_id in self._lost_nodes
+
+    # -- scheduler core -----------------------------------------------------
+    def _usable(self, nm: NodeManager, req: _PendingRequest) -> bool:
+        holder = self._reservations.get(nm.node.node_id)
+        return (
+            not nm.lost
+            and nm.node.reachable
+            and nm.available_mb >= req.memory_mb
+            and nm.node.node_id not in req.excluded
+            and (holder is None or holder is req)
+        )
+
+    def _match(self) -> None:
+        granted: list[_PendingRequest] = []
+        for req in self._pending:
+            if req.cancelled:
+                self._drop_reservation(req)
+                granted.append(req)  # drop silently
+                continue
+            nm = self._pick_node(req)
+            if nm is None:
+                self._maybe_reserve(req)
+                continue
+            self._drop_reservation(req)
+            container = nm.allocate(req.memory_mb)
+            granted.append(req)
+            self._deliver(req, container)
+        for req in granted:
+            self._pending.remove(req)
+
+    def _maybe_reserve(self, req: _PendingRequest) -> None:
+        """Reserve the most-promising node for a starving request so
+        smaller, lower-priority requests stop backfilling it."""
+        if self.config.max_reserved_nodes <= 0:
+            return
+        if any(holder is req for holder in self._reservations.values()):
+            return  # already holds a reservation; wait for it to fill
+        if len(self._reservations) >= self.config.max_reserved_nodes:
+            return  # don't freeze the cluster for a burst of big asks
+        candidates = [
+            nm for nm in self.node_managers.values()
+            if not nm.lost and nm.node.reachable
+            and nm.node.node_id not in req.excluded
+            and nm.node.node_id not in self._reservations
+        ]
+        if not candidates:
+            return
+        preferred_ids = {n.node_id for n in req.preferred}
+        candidates.sort(key=lambda nm: (nm.node.node_id not in preferred_ids,
+                                        -nm.available_mb))
+        self._reservations[candidates[0].node.node_id] = req
+
+    def _drop_reservation(self, req: _PendingRequest) -> None:
+        for node_id, holder in list(self._reservations.items()):
+            if holder is req:
+                del self._reservations[node_id]
+
+    def _pick_node(self, req: _PendingRequest) -> NodeManager | None:
+        for pref in req.preferred:
+            nm = self.node_managers.get(pref.node_id)
+            if nm is not None and self._usable(nm, req):
+                return nm
+        # Fall back to a least-loaded usable node. Ties are broken
+        # randomly: real YARN allocates in NM-heartbeat arrival order,
+        # which is effectively arbitrary, and that arbitrariness is what
+        # occasionally leaves a node without any ReduceTask (the paper's
+        # Fig. 4 setup).
+        candidates = [nm for nm in self.node_managers.values() if self._usable(nm, req)]
+        if not candidates:
+            return None
+        best = max(nm.available_mb for nm in candidates)
+        top = [nm for nm in candidates if nm.available_mb >= best - 512]
+        return top[int(self.cluster.rng.integers(len(top)))]
+
+    def _deliver(self, req: _PendingRequest, container: Container) -> None:
+        def handout(sim=self.sim):
+            yield sim.timeout(self.config.allocation_latency)
+            if container.alive and container.node.alive and container.node.reachable:
+                req.grant.succeed(container)
+            else:
+                # Node died during handout: transparently retry.
+                self._pending.append(
+                    _PendingRequest(
+                        req.priority, next(self._seq), req.memory_mb,
+                        req.preferred, req.grant, excluded=req.excluded,
+                    )
+                )
+                self._pending.sort()
+                self._match()
+
+        self.sim.process(handout(), name=f"grant-c{container.container_id}")
+
+    # -- heartbeats & liveness ------------------------------------------------
+    def _heartbeat_loop(self, nm: NodeManager):
+        while True:
+            yield self.sim.timeout(self.config.nm_heartbeat_interval)
+            if nm.lost:
+                return
+            if nm.node.reachable:
+                nm.last_heartbeat = self.sim.now
+
+    def _liveness_monitor(self):
+        check = self.config.nm_heartbeat_interval
+        while True:
+            yield self.sim.timeout(check)
+            for nm in self.node_managers.values():
+                if nm.lost:
+                    continue
+                if self.sim.now - nm.last_heartbeat >= self.config.nm_liveness_timeout:
+                    self._declare_lost(nm)
+
+    def _declare_lost(self, nm: NodeManager) -> None:
+        nm.lost = True
+        self._lost_nodes.add(nm.node.node_id)
+        self._reservations.pop(nm.node.node_id, None)
+        nm.kill_all(f"{nm.node.name} lost")
+        for fn in list(self.node_lost_listeners):
+            fn(nm.node)
+        self._match()

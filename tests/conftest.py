@@ -1,0 +1,62 @@
+"""Shared fixtures and helpers for the test suite."""
+
+import pytest
+
+from repro.cluster import ClusterSpec, NodeSpec
+from repro.cluster.node import GB, MB
+from repro.hdfs.hdfs import HdfsConfig
+from repro.mapreduce.config import JobConf
+from repro.mapreduce.job import MapReduceRuntime
+from repro.workloads.workload import Workload
+from repro.yarn.rm import YarnConfig
+
+
+def tiny_workload(
+    input_mb: float = 512.0,
+    reducers: int = 2,
+    map_sel: float = 1.0,
+    map_cpu: float = 0.02,
+    reduce_cpu: float = 0.02,
+    reduce_sel: float = 1.0,
+    name: str = "tiny",
+) -> Workload:
+    """A small, fast workload for unit/integration tests."""
+    return Workload(
+        name=name,
+        input_size=input_mb * MB,
+        num_reducers=reducers,
+        map_selectivity=map_sel,
+        map_cpu_per_mb=map_cpu,
+        reduce_cpu_per_mb=reduce_cpu,
+        reduce_selectivity=reduce_sel,
+        partition_skew=0.0,
+    )
+
+
+def small_cluster(nodes: int = 6, seed: int = 42) -> ClusterSpec:
+    return ClusterSpec(
+        num_nodes=nodes,
+        num_racks=2,
+        node=NodeSpec(memory_mb=16 * 1024, disk_bandwidth=200 * MB, nic_bandwidth=400 * MB),
+        core_bandwidth=1 * GB,
+        seed=seed,
+    )
+
+
+def make_runtime(workload=None, nodes: int = 6, policy=None, seed: int = 42,
+                 conf: JobConf | None = None, replication: int = 2,
+                 **kw) -> MapReduceRuntime:
+    return MapReduceRuntime(
+        workload or tiny_workload(),
+        conf=conf or JobConf(),
+        cluster_spec=small_cluster(nodes, seed),
+        yarn_config=YarnConfig(nm_liveness_timeout=20.0),
+        hdfs_config=HdfsConfig(block_size=64 * MB, replication=replication),
+        policy=policy,
+        **kw,
+    )
+
+
+@pytest.fixture
+def runtime():
+    return make_runtime()

@@ -1,0 +1,66 @@
+"""Tests for the ablation drivers and ALM component switches."""
+
+import pytest
+
+from repro.alm import ALMConfig, ALMPolicy
+from repro.experiments.ablations import (
+    ablate_liveness_timeout,
+    compare_iss,
+)
+from repro.faults import kill_node_at_progress
+
+from tests.conftest import make_runtime, tiny_workload
+from tests.test_failure_semantics import spatial_runtime
+
+
+def sfm_variant(proactive: bool, wait: bool) -> ALMPolicy:
+    return ALMPolicy(ALMConfig(enable_alg=False, enable_sfm=True,
+                               proactive_regeneration=proactive,
+                               wait_dont_fail=wait))
+
+
+class TestComponentSwitches:
+    def _spatial(self, policy):
+        rt = spatial_runtime(policy=policy)
+        kill_node_at_progress(0.15, target="map-only").install(rt)
+        return rt.run()
+
+    def test_full_sfm_zero_amplification(self):
+        res = self._spatial(sfm_variant(True, True))
+        assert res.counters["failed_reduce_attempts"] == 0
+
+    def test_wait_only_still_protects_reducers(self):
+        res = self._spatial(sfm_variant(False, True))
+        assert res.success
+        # Wait-don't-fail alone prevents the suicide cascade (the
+        # regeneration then starts reactively from the first giveup).
+        assert res.counters["failed_reduce_attempts"] == 0
+
+    def test_regen_only_may_amplify_but_recovers(self):
+        res = self._spatial(sfm_variant(True, False))
+        assert res.success
+        # Without wait-don't-fail, fetch failures are still counted; the
+        # run completes either way and regenerates maps.
+        assert res.counters["map_reruns"] > 0
+
+    def test_component_flags_change_behaviour_vs_yarn(self):
+        rt = spatial_runtime()
+        kill_node_at_progress(0.15, target="map-only").install(rt)
+        res_yarn = rt.run()
+        res_full = self._spatial(sfm_variant(True, True))
+        assert res_yarn.counters["failed_reduce_attempts"] > \
+            res_full.counters["failed_reduce_attempts"]
+
+
+class TestAblationDrivers:
+    def test_liveness_timeout_monotone(self):
+        rows = ablate_liveness_timeout(timeouts=(20.0, 60.0), scale=0.2)
+        assert rows[0].job_time < rows[1].job_time
+
+    def test_compare_iss_rows(self):
+        rows = compare_iss(scale=0.2)
+        names = {r.variant for r in rows}
+        assert "iss failure-free" in names
+        assert "sfm node-failure" in names
+        by = {r.variant: r.job_time for r in rows}
+        assert by["iss node-failure"] < by["yarn node-failure"]

@@ -1,0 +1,243 @@
+"""Tests of the ALM framework: ALG logging, SFM policy, FCM recovery."""
+
+import pytest
+
+from repro.alm import ALGConfig, ALMConfig, ALMPolicy
+from repro.alm.alg import AnalyticsLogStore, LogRecord
+from repro.alm.fcm import FCMReduceAttempt
+from repro.faults import kill_node_at_progress, kill_reduce_at_progress
+from repro.hdfs.hdfs import ReplicationLevel
+from repro.mapreduce.config import JobConf
+from repro.mapreduce.tasks import Task, TaskType
+from repro.sim.core import SimulationError
+
+from tests.conftest import make_runtime, tiny_workload
+from tests.test_failure_semantics import spatial_runtime
+
+
+def alg_policy(**alg_kw):
+    return ALMPolicy(ALMConfig(enable_alg=True, enable_sfm=False, alg=ALGConfig(**alg_kw)))
+
+
+def sfm_policy():
+    return ALMPolicy(ALMConfig(enable_alg=False, enable_sfm=True))
+
+
+def alm_policy(**alg_kw):
+    return ALMPolicy(ALMConfig(alg=ALGConfig(**alg_kw)))
+
+
+class TestALMConfig:
+    def test_policy_names(self):
+        assert alg_policy().name == "alg"
+        assert sfm_policy().name == "sfm"
+        assert alm_policy().name == "alm"
+
+    def test_validation(self):
+        with pytest.raises(SimulationError):
+            ALMConfig(enable_alg=False, enable_sfm=False)
+        with pytest.raises(SimulationError):
+            ALMConfig(fcm_cap=-1)
+        with pytest.raises(SimulationError):
+            ALGConfig(frequency=0)
+
+
+class TestLogStore:
+    def test_local_record_requires_same_live_node(self, runtime):
+        store = AnalyticsLogStore()
+        node = runtime.workers[0]
+        other = runtime.workers[1]
+        task = Task(0, TaskType.REDUCE, partition_index=0)
+        store.put(LogRecord(task_id=0, stage="shuffle", time=1.0, node=node))
+        assert store.local_record(task, node) is not None
+        assert store.local_record(task, other) is None
+        runtime.cluster.crash_node(node)
+        assert store.local_record(task, node) is None
+
+    def test_hdfs_record_available_anywhere(self, runtime):
+        store = AnalyticsLogStore()
+        task = Task(0, TaskType.REDUCE, partition_index=0)
+        store.put(LogRecord(task_id=0, stage="reduce", time=1.0,
+                            node=runtime.workers[0], reduce_fraction=0.6, on_hdfs=True))
+        state = store.recovery_state_for(task, runtime.workers[3])
+        assert state is not None
+        assert state.reduce_resume_fraction == pytest.approx(0.6)
+
+    def test_no_record_no_state(self, runtime):
+        store = AnalyticsLogStore()
+        task = Task(0, TaskType.REDUCE, partition_index=0)
+        assert store.recovery_state_for(task, runtime.workers[0]) is None
+
+
+class TestALG:
+    def test_logging_ticks_happen(self):
+        pol = alg_policy(frequency=3.0)
+        rt = make_runtime(tiny_workload(reducers=1, reduce_cpu=0.1), policy=pol)
+        rt.run()
+        assert pol.logger.ticks > 0
+        assert pol.log_store.hdfs_record(rt.am.reduce_tasks[0]) is not None
+
+    def test_alg_overhead_is_small_failure_free(self):
+        wl = lambda: tiny_workload(reducers=2, reduce_cpu=0.05)
+        base = make_runtime(wl()).run().elapsed
+        logged = make_runtime(wl(), policy=alg_policy(frequency=5.0)).run().elapsed
+        assert logged <= base * 1.10  # Fig. 11: negligible overhead
+
+    def test_alg_speeds_up_late_reduce_failure(self):
+        wl = lambda: tiny_workload(reducers=1, reduce_cpu=0.15)
+        yarn = make_runtime(wl())
+        kill_reduce_at_progress(0.9).install(yarn)
+        t_yarn = yarn.run().elapsed
+        alg = make_runtime(wl(), policy=alg_policy(frequency=3.0))
+        kill_reduce_at_progress(0.9).install(alg)
+        t_alg = alg.run().elapsed
+        assert t_alg < t_yarn  # Fig. 8
+
+    def test_recovered_attempt_resumes_from_fraction(self):
+        pol = alg_policy(frequency=3.0)
+        rt = make_runtime(tiny_workload(reducers=1, reduce_cpu=0.15), policy=pol)
+        kill_reduce_at_progress(0.9).install(rt)
+        res = rt.run()
+        assert res.success
+        attempts = rt.am.reduce_tasks[0].attempts
+        assert len(attempts) >= 2
+        assert attempts[-1].reduce_resume_fraction > 0
+
+    def test_replication_level_controls_output_placement(self):
+        def out_blocks(level):
+            pol = alg_policy(frequency=2.0, level=level)
+            rt = make_runtime(tiny_workload(reducers=2, reduce_cpu=0.05,
+                                            reduce_sel=1.0, input_mb=512),
+                              policy=pol)
+            rt.run()
+            return [
+                b for p, f in rt.hdfs._files.items() if p.startswith("out/")
+                for b in f.blocks
+            ]
+
+        for b in out_blocks(ReplicationLevel.NODE):
+            assert len(b.replicas) == 1  # local only until lazy commit
+        for b in out_blocks(ReplicationLevel.RACK):
+            racks = {n.rack for n in b.replicas}
+            assert len(racks) == 1
+        assert any(
+            len({n.rack for n in b.replicas}) > 1
+            for b in out_blocks(ReplicationLevel.CLUSTER)
+        )
+
+    def test_cluster_replication_not_cheaper_than_node(self):
+        def run(level):
+            pol = alg_policy(frequency=2.0, level=level)
+            rt = make_runtime(tiny_workload(reducers=2, reduce_cpu=0.05,
+                                            reduce_sel=1.0, input_mb=1024),
+                              policy=pol)
+            return rt.run().elapsed
+
+        t_node = run(ReplicationLevel.NODE)
+        t_cluster = run(ReplicationLevel.CLUSTER)
+        # Fig. 13 ordering (allowing scheduling noise at toy scale).
+        assert t_cluster >= t_node * 0.98
+
+    def test_log_frequency_insensitivity(self):
+        # Fig. 12: performance roughly flat across logging frequencies.
+        times = []
+        for freq in (2.0, 5.0, 15.0):
+            rt = make_runtime(tiny_workload(reducers=2, reduce_cpu=0.05),
+                              policy=alg_policy(frequency=freq))
+            times.append(rt.run().elapsed)
+        assert max(times) <= min(times) * 1.15
+
+
+class TestSFM:
+    def test_sfm_eliminates_temporal_amplification(self):
+        wl = lambda: tiny_workload(reducers=1, reduce_cpu=0.2, input_mb=1024)
+        yarn = make_runtime(wl())
+        kill_node_at_progress(0.3, target="reducer").install(yarn)
+        ry = yarn.run()
+        sfm = make_runtime(wl(), policy=sfm_policy())
+        kill_node_at_progress(0.3, target="reducer").install(sfm)
+        rs = sfm.run()
+        assert ry.counters["failed_reduce_attempts"] >= 1
+        assert rs.counters["failed_reduce_attempts"] == 0
+        assert rs.elapsed < ry.elapsed  # Figs. 9 & 10
+
+    def test_sfm_regenerates_maps_proactively(self):
+        wl = tiny_workload(reducers=1, reduce_cpu=0.2, input_mb=1024)
+        rt = make_runtime(wl, policy=sfm_policy())
+        kill_node_at_progress(0.3, target="reducer").install(rt)
+        res = rt.run()
+        assert res.success
+        lost = rt.trace.first("node_lost")
+        regen = rt.trace.first("sfm_regenerate")
+        assert regen is not None
+        assert regen.time == pytest.approx(lost.time)
+        # Regeneration beats the first recovered-reducer fetch failure:
+        assert res.counters["fetch_failure_reports"] == 0
+
+    def test_sfm_prevents_spatial_amplification(self):
+        rt = spatial_runtime(policy=sfm_policy())
+        kill_node_at_progress(0.15, target="map-only").install(rt)
+        res = rt.run()
+        assert res.success
+        assert res.counters["failed_reduce_attempts"] == 0  # Table II
+
+    def test_migrated_recovery_uses_fcm(self):
+        wl = tiny_workload(reducers=1, reduce_cpu=0.2, input_mb=1024)
+        rt = make_runtime(wl, policy=sfm_policy())
+        kill_node_at_progress(0.3, target="reducer").install(rt)
+        rt.run()
+        assert rt.trace.first("fcm_start") is not None
+        last = rt.am.reduce_tasks[0].attempts[-1]
+        assert isinstance(last, FCMReduceAttempt)
+
+    def test_fcm_cap_limits_fcm_mode(self):
+        wl = tiny_workload(reducers=3, reduce_cpu=0.15, input_mb=1024)
+        pol = ALMPolicy(ALMConfig(enable_alg=False, enable_sfm=True, fcm_cap=0))
+        rt = make_runtime(wl, policy=pol)
+        kill_node_at_progress(0.3, target="reducer").install(rt)
+        res = rt.run()
+        assert res.success
+        assert rt.trace.first("fcm_start") is None  # cap 0: regular mode only
+
+    def test_transient_failure_relaunches_on_same_node(self):
+        # Algorithm 1 lines 9-13 relaunch locally *to reuse local ALG
+        # logs*, so the failure must strike after a completed shuffle-
+        # stage logging tick.
+        wl = tiny_workload(reducers=1, reduce_cpu=0.2, input_mb=2048)
+        pol = ALMPolicy(ALMConfig(enable_alg=True, enable_sfm=True,
+                                  alg=ALGConfig(frequency=1.0)))
+        rt = make_runtime(wl, policy=pol)
+        kill_reduce_at_progress(0.8).install(rt)
+        res = rt.run()
+        assert res.success
+        attempts = rt.am.reduce_tasks[0].attempts
+        assert len(attempts) >= 2
+        assert any(a.node is attempts[0].node for a in attempts[1:])
+
+    def test_no_local_relaunch_without_logs(self):
+        # SFM-only: a same-node relaunch would just duplicate the
+        # speculative recovery's traffic, so it is skipped.
+        wl = tiny_workload(reducers=1, reduce_cpu=0.2, input_mb=1024)
+        rt = make_runtime(wl, policy=sfm_policy())
+        kill_reduce_at_progress(0.8).install(rt)
+        res = rt.run()
+        assert res.success
+        attempts = rt.am.reduce_tasks[0].attempts
+        assert len(attempts) == 2  # exactly one recovery attempt
+
+
+class TestSFMplusALG:
+    def test_combined_beats_sfm_only_on_late_node_failure(self):
+        # Fig. 15: ALG's HDFS reduce-stage logs let the FCM recovery
+        # skip the already-reduced prefix.
+        wl = lambda: tiny_workload(reducers=1, reduce_cpu=0.3, input_mb=1024)
+
+        def run(policy):
+            rt = make_runtime(wl(), policy=policy)
+            kill_node_at_progress(0.85, target="reducer").install(rt)
+            return rt.run()
+
+        r_sfm = run(sfm_policy())
+        r_alm = run(alm_policy(frequency=3.0))
+        assert r_alm.success and r_sfm.success
+        assert r_alm.elapsed < r_sfm.elapsed

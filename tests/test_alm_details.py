@@ -1,0 +1,137 @@
+"""Deeper behavioural tests of ALG/SFM/FCM mechanics."""
+
+import pytest
+
+from repro.alm import ALGConfig, ALMConfig, ALMPolicy
+from repro.alm.fcm import FCMReduceAttempt
+from repro.faults import kill_node_at_progress, kill_reduce_at_progress
+from repro.faults.inject import NodeFault
+from repro.mapreduce.reducetask import ReduceAttempt
+
+from tests.conftest import make_runtime, tiny_workload
+
+
+def policy(**kw):
+    defaults = dict(enable_alg=True, enable_sfm=True)
+    defaults.update(kw)
+    return ALMPolicy(ALMConfig(**defaults))
+
+
+class TestFCMDetails:
+    def test_fcm_recovery_keeps_no_local_spills(self):
+        wl = tiny_workload(reducers=1, reduce_cpu=0.2, input_mb=1024)
+        rt = make_runtime(wl, policy=policy(enable_alg=False))
+        kill_node_at_progress(0.3, target="reducer").install(rt)
+        res = rt.run()
+        assert res.success
+        last = rt.am.reduce_tasks[0].attempts[-1]
+        assert isinstance(last, FCMReduceAttempt)
+        assert last.disk_segments == []  # all in memory, by design
+        assert last.total_input_bytes > 0  # but the stream is accounted
+
+    def test_fcm_participant_death_fails_over(self):
+        wl = tiny_workload(reducers=1, reduce_cpu=0.3, input_mb=2048)
+        # Two node losses with 2-way replication can genuinely destroy
+        # input blocks; replication 3 isolates the FCM behaviour.
+        rt = make_runtime(wl, nodes=8, policy=policy(enable_alg=False),
+                          replication=3)
+        # First failure migrates the reducer into FCM mode; then a
+        # participant (another worker) dies mid-recovery.
+        kill_node_at_progress(0.3, target="reducer").install(rt)
+        NodeFault(target=1, at_progress=0.5, mode="crash").install(rt)
+        res = rt.run()
+        assert res.success  # recovered despite losing a participant
+
+    def test_fcm_counts_against_cap(self):
+        wl = tiny_workload(reducers=3, reduce_cpu=0.2, input_mb=1024)
+        pol = policy(enable_alg=False, fcm_cap=1)
+        rt = make_runtime(wl, policy=pol)
+        kill_node_at_progress(0.3, target="reducer").install(rt)
+        res = rt.run()
+        assert res.success
+        fcm_attempts = [
+            a for t in rt.am.reduce_tasks for a in t.attempts
+            if isinstance(a, FCMReduceAttempt)
+        ]
+        assert len(fcm_attempts) <= 1
+
+
+class TestALGDetails:
+    def test_migrated_attempt_cannot_reuse_local_segments(self):
+        """Local shuffle logs are node-bound: after a node loss the
+        recovering attempt must not claim the dead node's spills."""
+        wl = tiny_workload(reducers=1, reduce_cpu=0.2, input_mb=1024)
+        pol = policy(alg=ALGConfig(frequency=2.0))
+        rt = make_runtime(wl, policy=pol)
+        kill_node_at_progress(0.2, target="reducer").install(rt)
+        res = rt.run()
+        assert res.success
+        attempts = rt.am.reduce_tasks[0].attempts
+        recovered = attempts[-1]
+        first = attempts[0]
+        assert recovered.node is not first.node
+        if isinstance(recovered, ReduceAttempt) and not isinstance(recovered, FCMReduceAttempt):
+            # Regular migrated attempt: no fetched-state restored from
+            # the dead node's local log.
+            assert not (recovered.recovery and recovered.recovery.disk_segments
+                        and recovered.recovery.disk_segments[0].node is first.node
+                        and recovered.fetched)
+
+    def test_same_node_relaunch_reuses_segments(self):
+        wl = tiny_workload(reducers=1, reduce_cpu=0.25, input_mb=1024)
+        pol = policy(enable_sfm=False, alg=ALGConfig(frequency=2.0))
+        rt = make_runtime(wl, policy=pol)
+        kill_reduce_at_progress(0.75).install(rt)
+        res = rt.run()
+        assert res.success
+        attempts = rt.am.reduce_tasks[0].attempts
+        assert len(attempts) >= 2
+        a0, a1 = attempts[0], attempts[-1]
+        assert a1.node is a0.node  # relaunched locally (Alg. 1 lines 9-13)
+        if a1.recovery is not None and a1.recovery.disk_segments:
+            # Restored shuffle state skips refetching those map outputs.
+            assert a1.recovery.fetched_map_ids
+
+    def test_log_store_cleared_after_job(self):
+        pol = policy()
+        rt = make_runtime(tiny_workload(reducers=1, reduce_cpu=0.1), policy=pol)
+        rt.run()
+        assert pol.regenerating == set()
+
+    def test_limit_local_bounds_same_node_retries(self):
+        wl = tiny_workload(reducers=1, reduce_cpu=0.3)
+        pol = policy(limit_local=1, enable_sfm=True)
+        rt = make_runtime(wl, policy=pol)
+        # Two consecutive transient failures on the same task.
+        kill_reduce_at_progress(0.7).install(rt)
+        kill_reduce_at_progress(0.7).install(rt)
+        res = rt.run()
+        assert res.success
+        first_node = rt.am.reduce_tasks[0].attempts[0].node
+        same_node = sum(1 for a in rt.am.reduce_tasks[0].attempts
+                        if a.node is first_node)
+        # limit_local=1 allows at most 1 extra local attempt beyond the
+        # original.
+        assert same_node <= 3
+
+
+class TestSFMDetails:
+    def test_speculative_and_local_attempts_race(self):
+        """Algorithm 1 launches both a same-node relaunch and a
+        speculative attempt; exactly one commits."""
+        wl = tiny_workload(reducers=1, reduce_cpu=0.3, input_mb=1024)
+        rt = make_runtime(wl, policy=policy(enable_alg=False))
+        kill_reduce_at_progress(0.8).install(rt)
+        res = rt.run()
+        assert res.success
+        commits = res.trace.count("reduce_commit", task="reduce-0")
+        assert commits == 1
+
+    def test_regeneration_only_once_per_node(self):
+        wl = tiny_workload(reducers=2, reduce_cpu=0.2, input_mb=1024)
+        pol = policy(enable_alg=False)
+        rt = make_runtime(wl, policy=pol)
+        kill_node_at_progress(0.3, target="map-only").install(rt)
+        res = rt.run()
+        assert res.success
+        assert res.trace.count("sfm_regenerate") <= 1

@@ -1,0 +1,100 @@
+"""Tests for the command-line interface."""
+
+import argparse
+import json
+
+import pytest
+
+from repro.cli import main, parse_fault
+from repro.faults import NodeFault, SlowNodeFault, TaskFault
+from repro.faults.inject import MapWaveFault
+from repro.mapreduce.tasks import TaskType
+
+
+class TestParseFault:
+    def test_reduce_spec(self):
+        f = parse_fault("reduce@0.5")
+        assert isinstance(f, TaskFault)
+        assert f.task_type is TaskType.REDUCE
+        assert f.at_progress == 0.5
+
+    def test_map_spec_with_index(self):
+        f = parse_fault("map@0.3:7")
+        assert f.task_type is TaskType.MAP
+        assert f.task_index == 7
+
+    def test_node_specs(self):
+        f = parse_fault("node@0.4:map-only")
+        assert isinstance(f, NodeFault)
+        assert f.at_progress == 0.4
+        assert f.target == "map-only"
+        f2 = parse_fault("nodetime@30:2")
+        assert f2.at_time == 30 and f2.target == 2
+
+    def test_maps_spec(self):
+        f = parse_fault("maps@10:50")
+        assert isinstance(f, MapWaveFault)
+        assert f.count == 50 and f.at_time == 10
+
+    def test_slow_spec(self):
+        f = parse_fault("slow@5:1:0.25")
+        assert isinstance(f, SlowNodeFault)
+        assert f.disk_factor == 0.25
+
+    def test_bad_specs_rejected(self):
+        for bad in ("meteor@1", "reduce", "node@x", "maps@1"):
+            with pytest.raises(argparse.ArgumentTypeError):
+                parse_fault(bad)
+
+
+class TestRunCommand:
+    def test_run_small_job(self, capsys):
+        rc = main(["run", "wordcount", "--size-gb", "1", "--nodes", "6",
+                   "--policy", "alm"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "SUCCESS" in out
+        assert "committed_reduces" in out
+
+    def test_run_with_fault_and_report(self, capsys):
+        rc = main(["run", "wordcount", "--size-gb", "1", "--nodes", "6",
+                   "--fault", "reduce@0.8", "--report"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "failure timeline" in out
+        assert "fault_injected" in out
+
+    def test_run_export_json(self, tmp_path, capsys):
+        path = tmp_path / "out.json"
+        rc = main(["run", "wordcount", "--size-gb", "1", "--nodes", "6",
+                   "--export", str(path)])
+        assert rc == 0
+        payload = json.loads(path.read_text())
+        assert payload["summary"]["success"] is True
+
+    def test_run_iss_policy(self, capsys):
+        rc = main(["run", "wordcount", "--size-gb", "1", "--nodes", "6",
+                   "--policy", "iss"])
+        assert rc == 0
+
+    def test_run_reducers_override(self, capsys):
+        rc = main(["run", "terasort", "--size-gb", "2", "--nodes", "6",
+                   "--reducers", "3"])
+        assert rc == 0
+
+
+class TestOtherCommands:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "terasort" in out and "alm" in out and "fig08" in out
+
+    def test_experiment_fig03_small(self, capsys):
+        assert main(["experiment", "fig03", "--scale", "0.3"]) == 0
+        out = capsys.readouterr().out
+        assert "crash=" in out
+
+    def test_experiment_table2_small(self, capsys):
+        assert main(["experiment", "table2", "--scale", "0.2"]) == 0
+        out = capsys.readouterr().out
+        assert "Table II" in out

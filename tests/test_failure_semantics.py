@@ -1,0 +1,166 @@
+"""Integration tests of the failure behaviours the paper studies:
+task re-execution, silent death on unreachable nodes, fetch-failure
+accounting, and temporal/spatial failure amplification under stock
+YARN recovery."""
+
+import pytest
+
+from repro.faults import (
+    kill_maps_at_time,
+    kill_node_at_progress,
+    kill_reduce_at_progress,
+)
+from repro.faults.inject import TaskFault
+from repro.mapreduce.config import JobConf
+from repro.mapreduce.tasks import TaskType
+
+from tests.conftest import make_runtime, tiny_workload
+
+
+def run_with(faults, workload=None, nodes=6, seed=42, conf=None, policy=None):
+    rt = make_runtime(workload, nodes=nodes, seed=seed, conf=conf, policy=policy)
+    for f in faults:
+        f.install(rt)
+    return rt, rt.run()
+
+
+class TestTaskReExecution:
+    def test_reduce_oom_restarts_and_completes(self):
+        fault = kill_reduce_at_progress(0.8)
+        rt, res = run_with([fault])
+        assert res.success
+        assert fault.fired_at is not None
+        assert res.counters["failed_reduce_attempts"] == 1
+        assert len(rt.am.reduce_tasks[0].attempts) == 2
+
+    def test_reduce_failure_delays_more_at_later_progress(self):
+        base = make_runtime(tiny_workload(reducers=1, reduce_cpu=0.08)).run().elapsed
+        wl = lambda: tiny_workload(reducers=1, reduce_cpu=0.08)
+        early = run_with([kill_reduce_at_progress(0.70)], workload=wl())[1].elapsed
+        late = run_with([kill_reduce_at_progress(0.95)], workload=wl())[1].elapsed
+        assert late > early > base
+
+    def test_map_failure_negligible_vs_reduce_failure(self):
+        base = make_runtime().run().elapsed
+        _, rm = run_with([TaskFault(TaskType.MAP, 0, 0.5)])
+        _, rr = run_with([kill_reduce_at_progress(0.9)])
+        map_delay = rm.elapsed - base
+        reduce_delay = rr.elapsed - base
+        assert reduce_delay > 3 * max(map_delay, 1.0)
+
+    def test_many_map_failures_recover_quickly(self):
+        # Fig. 1: recovery from many map failures is fast because maps
+        # are short-lived and re-run in parallel.
+        base = make_runtime(tiny_workload(input_mb=1024)).run().elapsed
+        fault = kill_maps_at_time(8, at_time=5.0)
+        rt, res = run_with([fault], workload=tiny_workload(input_mb=1024))
+        assert res.success
+        assert fault.killed > 0
+        assert res.elapsed - base < 0.5 * base
+
+    def test_job_fails_after_max_attempts(self):
+        conf = JobConf(max_attempts=2)
+        faults = [kill_reduce_at_progress(0.5), kill_reduce_at_progress(0.5)]
+        # Two independent one-shot faults hit the first two attempts.
+        rt = make_runtime(conf=conf)
+        for f in faults:
+            f.install(rt)
+        res = rt.run()
+        assert not res.success
+
+
+class TestNodeLossDetection:
+    def test_node_loss_detected_by_liveness_not_instantly(self):
+        rt, res = run_with(
+            [kill_node_at_progress(0.3, target="reducer")],
+            workload=tiny_workload(reducers=1, reduce_cpu=0.2),
+        )
+        assert res.success
+        fault_t = rt.trace.first("fault_injected").time
+        lost_t = rt.trace.first("node_lost").time
+        # Liveness timeout in the test fixture is 20s.
+        assert lost_t - fault_t >= 19.0
+
+    def test_tasks_on_unreachable_node_vanish_silently(self):
+        rt, res = run_with(
+            [kill_node_at_progress(0.3, target="reducer")],
+            workload=tiny_workload(reducers=1, reduce_cpu=0.2),
+        )
+        fault_t = rt.trace.first("fault_injected").time
+        lost_t = rt.trace.first("node_lost").time
+        # No failure report arrives from the dead node in between.
+        reports = [e for e in rt.trace.of_kind("attempt_failed")
+                   if fault_t <= e.time < lost_t]
+        assert reports == []
+
+
+class TestTemporalAmplification:
+    def test_recovered_reducer_fails_again_under_stock_yarn(self):
+        # The recovered ReduceTask fetches from the dead node, stalls,
+        # and is declared failed at least once more (Fig. 3).
+        wl = tiny_workload(reducers=1, reduce_cpu=0.2, input_mb=1024)
+        rt, res = run_with([kill_node_at_progress(0.3, target="reducer")], workload=wl)
+        assert res.success
+        lost_t = rt.trace.first("node_lost").time
+        post_failures = [e for e in rt.trace.of_kind("attempt_failed")
+                         if e.time > lost_t and e.data["type"] == "reduce"]
+        assert len(post_failures) >= 1
+        assert all(e.data["reason"] == "shuffle-fetch-failures" for e in post_failures)
+
+    def test_fetch_failure_reports_eventually_rerun_maps(self):
+        wl = tiny_workload(reducers=1, reduce_cpu=0.2, input_mb=1024)
+        rt, res = run_with([kill_node_at_progress(0.3, target="reducer")], workload=wl)
+        assert res.counters["map_reruns"] > 0
+        assert res.counters["fetch_failure_reports"] >= rt.am.conf.map_refetch_reports
+
+
+def spatial_runtime(policy=None):
+    """A miniature of the Fig. 4 setup: a slow NIC keeps the shuffle
+    lagging the map phase, so a node loss strands unfetched MOFs."""
+    from repro.cluster import ClusterSpec, NodeSpec
+    from repro.cluster.node import GB, MB
+    from repro.hdfs.hdfs import HdfsConfig
+    from repro.mapreduce.job import MapReduceRuntime
+    from repro.yarn.rm import YarnConfig
+
+    spec = ClusterSpec(
+        num_nodes=8, num_racks=2,
+        node=NodeSpec(memory_mb=16 * 1024, disk_bandwidth=200 * MB, nic_bandwidth=60 * MB),
+        core_bandwidth=1 * GB, seed=3,
+    )
+    conf = JobConf(reducer_stall_seconds=8, host_failure_penalty=4,
+                   map_refetch_reports=8, fetch_retries_per_host=3, num_fetchers=2)
+    wl = tiny_workload(input_mb=2048, reducers=4, reduce_cpu=0.15)
+    from repro.hdfs.hdfs import HdfsConfig as _H
+    return MapReduceRuntime(
+        wl, conf=conf, cluster_spec=spec,
+        yarn_config=YarnConfig(nm_liveness_timeout=20.0),
+        hdfs_config=HdfsConfig(block_size=64 * MB),
+        policy=policy,
+    )
+
+
+class TestSpatialAmplification:
+    def test_healthy_reducers_infected_by_map_only_node_loss(self):
+        rt = spatial_runtime()
+        kill_node_at_progress(0.15, target="map-only").install(rt)
+        res = rt.run()
+        assert res.success
+        fault = rt.trace.first("fault_injected")
+        assert fault is not None
+        victim = fault.data["node"]
+        # Healthy reducers NOT on the dead node failed afterwards.
+        infected = [
+            e for e in rt.trace.of_kind("attempt_failed")
+            if e.data["type"] == "reduce" and e.time > fault.time
+            and e.data["node"] != victim
+            and e.data["reason"] == "shuffle-fetch-failures"
+        ]
+        assert infected, "expected spatial amplification under stock YARN"
+
+    def test_spatial_amplification_infects_multiple_reducers(self):
+        rt = spatial_runtime()
+        kill_node_at_progress(0.15, target="map-only").install(rt)
+        res = rt.run()
+        assert res.counters["failed_reduce_attempts"] >= 2
+        assert res.counters["map_reruns"] > 0

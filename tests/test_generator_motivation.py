@@ -1,0 +1,66 @@
+"""Tests for the trace-mix generator and the motivation experiment."""
+
+import pytest
+
+from repro.cluster.node import GB
+from repro.experiments.motivation import run_fleet
+from repro.sim.core import SimulationError
+from repro.workloads.generator import TraceMix
+
+
+class TestTraceMix:
+    def test_sample_count_and_ordering(self):
+        mix = TraceMix(num_jobs=10, seed=1)
+        jobs = mix.sample()
+        assert len(jobs) == 10
+        delays = [d for _, d in jobs]
+        assert delays == sorted(delays)
+        assert delays[0] == 0.0
+
+    def test_reducer_counts_trace_like(self):
+        mix = TraceMix(num_jobs=200, seed=2, mean_reducers=19.0)
+        counts = [wl.num_reducers for wl, _ in mix.sample()]
+        mean = sum(counts) / len(counts)
+        assert 10 <= mean <= 30  # around the trace's 19
+        assert max(counts) <= mix.max_reducers
+        assert min(counts) >= 1
+
+    def test_input_sizes_bounded_lognormal(self):
+        mix = TraceMix(num_jobs=100, seed=3, median_input_gb=8.0)
+        sizes = sorted(wl.input_size / GB for wl, _ in mix.sample())
+        assert sizes[0] >= 0.5
+        assert sizes[-1] <= 200.0
+        median = sizes[len(sizes) // 2]
+        assert 2.0 <= median <= 32.0
+
+    def test_deterministic_given_seed(self):
+        a = TraceMix(num_jobs=5, seed=9).sample()
+        b = TraceMix(num_jobs=5, seed=9).sample()
+        assert [(wl.name, wl.input_size, wl.num_reducers, d) for wl, d in a] == \
+            [(wl.name, wl.input_size, wl.num_reducers, d) for wl, d in b]
+
+    def test_families_mixed(self):
+        names = {wl.name for wl, _ in TraceMix(num_jobs=30, seed=4).sample()}
+        assert len(names) >= 2
+
+    def test_scaled(self):
+        mix = TraceMix(median_input_gb=8.0).scaled(0.25)
+        assert mix.median_input_gb == 2.0
+
+    def test_validation(self):
+        with pytest.raises(SimulationError):
+            TraceMix(num_jobs=0)
+        with pytest.raises(SimulationError):
+            TraceMix(median_input_gb=0)
+
+
+class TestFleet:
+    def test_fleet_runs_and_reports(self):
+        mix = TraceMix(num_jobs=3, seed=11, median_input_gb=1.0,
+                       mean_interarrival=10.0)
+        res = run_fleet("alm", mix)
+        assert res.policy == "alm"
+        assert len(res.job_slowdowns) + res.failed_jobs == 3
+        assert res.makespan > 0
+        for slowdown in res.job_slowdowns.values():
+            assert slowdown > 0.5

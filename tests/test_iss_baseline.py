@@ -1,0 +1,78 @@
+"""Tests for the ISS related-work baseline (paper §VI)."""
+
+import pytest
+
+from repro.baselines import ISSConfig, ISSPolicy
+from repro.faults import kill_node_at_progress, kill_reduce_at_progress
+from repro.sim.core import SimulationError
+
+from tests.conftest import make_runtime, tiny_workload
+
+
+class TestISSReplication:
+    def test_every_mof_replicated_failure_free(self):
+        pol = ISSPolicy()
+        rt = make_runtime(tiny_workload(), policy=pol)
+        res = rt.run()
+        assert res.success
+        assert len(pol.replica_mofs) == rt.am.num_maps
+        assert pol.replicated_bytes == pytest.approx(rt.workload.shuffle_bytes, rel=1e-6)
+
+    def test_replicas_placed_off_rack_when_possible(self):
+        pol = ISSPolicy(ISSConfig(off_rack=True))
+        rt = make_runtime(tiny_workload(), policy=pol)
+        rt.run()
+        for map_id, replicas in pol.replica_mofs.items():
+            primary = rt.am.registry.get(map_id)
+            for rep in replicas:
+                assert rep.node.rack is not primary.node.rack
+
+    def test_replication_overhead_visible(self):
+        wl = lambda: tiny_workload(input_mb=2048, reducers=2)
+        t_yarn = make_runtime(wl()).run().elapsed
+        t_iss = make_runtime(wl(), policy=ISSPolicy()).run().elapsed
+        # The paper's critique #1: ISS pays for replication on every
+        # job. (The copy streams overlap execution, so the penalty is
+        # moderate but nonzero.)
+        assert t_iss > t_yarn
+
+    def test_config_validation(self):
+        with pytest.raises(SimulationError):
+            ISSConfig(replicas=0)
+
+
+class TestISSRecovery:
+    def _node_fail_run(self, policy):
+        wl = tiny_workload(reducers=1, reduce_cpu=0.2, input_mb=1024)
+        rt = make_runtime(wl, policy=policy)
+        kill_node_at_progress(0.3, target="reducer").install(rt)
+        return rt, rt.run()
+
+    def test_node_loss_switches_to_replicas_without_map_reruns(self):
+        rt, res = self._node_fail_run(ISSPolicy())
+        assert res.success
+        assert res.counters["map_reruns"] == 0  # replicas took over
+        assert rt.trace.count("iss_switch") > 0
+
+    def test_iss_beats_stock_yarn_on_node_failure(self):
+        wl = lambda: tiny_workload(reducers=1, reduce_cpu=0.2, input_mb=1024)
+        yarn_rt = make_runtime(wl())
+        kill_node_at_progress(0.3, target="reducer").install(yarn_rt)
+        res_yarn = yarn_rt.run()
+        iss_rt = make_runtime(wl(), policy=ISSPolicy())
+        kill_node_at_progress(0.3, target="reducer").install(iss_rt)
+        res_iss = iss_rt.run()
+        assert res_iss.elapsed < res_yarn.elapsed
+
+    def test_iss_still_restarts_failed_reducers_from_scratch(self):
+        # The paper's critique #2: a ReduceTask failure still costs a
+        # full re-execution under ISS (no analytics logging).
+        wl = lambda: tiny_workload(reducers=1, reduce_cpu=0.15)
+        base = make_runtime(wl(), policy=ISSPolicy()).run().elapsed
+        rt = make_runtime(wl(), policy=ISSPolicy())
+        kill_reduce_at_progress(0.9).install(rt)
+        res = rt.run()
+        assert res.success
+        # Re-running most of the reduce work stretches the job well
+        # beyond the failure-free ISS run.
+        assert res.elapsed > base * 1.2

@@ -1,0 +1,122 @@
+"""Tests for trace collection, exports and text reports."""
+
+import json
+
+import pytest
+
+from repro.faults import kill_reduce_at_progress
+from repro.metrics import (
+    ProgressSampler,
+    Trace,
+    export_result_json,
+    export_series_csv,
+    failure_timeline,
+    progress_curve,
+    result_summary,
+    task_gantt,
+    trace_records,
+)
+from repro.sim import Simulator
+
+from tests.conftest import make_runtime, tiny_workload
+
+
+@pytest.fixture
+def result():
+    rt = make_runtime(tiny_workload(reducers=2, reduce_cpu=0.08))
+    kill_reduce_at_progress(0.8).install(rt)
+    return rt.run()
+
+
+class TestTrace:
+    def test_log_and_query(self):
+        sim = Simulator()
+        trace = Trace(sim)
+        trace.log("thing", a=1)
+
+        def proc(sim):
+            yield sim.timeout(5)
+            trace.log("thing", a=2)
+            trace.log("other", b=3)
+
+        sim.process(proc(sim))
+        sim.run()
+        assert trace.count("thing") == 2
+        assert trace.count("thing", a=2) == 1
+        assert trace.first("thing").time == 0
+        assert trace.last("thing")["a"] == 2
+        assert trace.times("other") == [5]
+        assert trace.first("missing") is None
+
+    def test_series_sampling(self):
+        sim = Simulator()
+        trace = Trace(sim)
+        sampler = ProgressSampler(sim, trace, interval=1.0)
+        sampler.add_probe("clock", lambda: sim.now)
+        sampler.start()
+
+        def stopper(sim):
+            yield sim.timeout(4.5)
+            sampler.stop()
+
+        sim.process(stopper(sim))
+        sim.run(until=10)
+        values = trace.series_values("clock")
+        assert len(values) == 5  # t = 0..4
+        assert values[-1] == (4.0, 4.0)
+
+    def test_event_indexing(self):
+        sim = Simulator()
+        trace = Trace(sim)
+        trace.log("k", x="y")
+        assert trace.events[0]["x"] == "y"
+
+
+class TestExports:
+    def test_result_summary(self, result):
+        s = result_summary(result)
+        assert s["success"] is True
+        assert s["elapsed"] == pytest.approx(result.elapsed)
+        assert s["counters"]["failed_reduce_attempts"] == 1
+
+    def test_trace_records_jsonable(self, result):
+        records = trace_records(result.trace)
+        json.dumps(records)  # must not raise
+        assert any(r["kind"] == "attempt_failed" for r in records)
+
+    def test_export_json_roundtrip(self, result, tmp_path):
+        path = export_result_json(result, tmp_path / "job.json")
+        payload = json.loads(path.read_text())
+        assert payload["summary"]["workload"] == "tiny"
+        assert payload["events"]
+        assert "reduce_progress" in payload["series"]
+
+    def test_export_series_csv(self, result, tmp_path):
+        path = export_series_csv(result.trace, "reduce_progress", tmp_path / "p.csv")
+        lines = path.read_text().strip().splitlines()
+        assert lines[0] == "time,reduce_progress"
+        assert len(lines) > 5
+
+
+class TestReports:
+    def test_progress_curve_renders(self, result):
+        out = progress_curve(result.trace)
+        assert "reduce_progress" in out
+        assert "%" in out
+
+    def test_progress_curve_empty_series(self, result):
+        assert "no samples" in progress_curve(result.trace, name="ghost")
+
+    def test_failure_timeline_lists_injection(self, result):
+        out = failure_timeline(result.trace)
+        assert "fault_injected" in out
+        assert "attempt_failed" in out
+
+    def test_failure_timeline_clean_run(self):
+        res = make_runtime().run()
+        assert "no failures" in failure_timeline(res.trace)
+
+    def test_task_gantt_shows_failed_attempt(self, result):
+        out = task_gantt(result, task_filter="reduce")
+        assert "fail" in out
+        assert "ok" in out

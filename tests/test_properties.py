@@ -1,0 +1,118 @@
+"""Property-based tests of job-level invariants.
+
+These drive whole simulated jobs through hypothesis-chosen workload
+shapes and failure points and check conservation laws and monotonicity
+properties that must hold regardless of parameters.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.alm import ALMPolicy
+from repro.cluster.node import MB
+from repro.faults import kill_reduce_at_progress
+from repro.mapreduce.tasks import TaskState
+
+from tests.conftest import make_runtime, tiny_workload
+
+# Whole-job property tests are expensive; keep example counts small but
+# meaningful. Deadlines off: a single example runs a full simulation.
+_SETTINGS = dict(
+    max_examples=12,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+
+
+class TestConservation:
+    @given(
+        input_mb=st.sampled_from([256.0, 512.0, 1024.0]),
+        reducers=st.integers(min_value=1, max_value=4),
+        map_sel=st.floats(min_value=0.1, max_value=1.5),
+    )
+    @settings(**_SETTINGS)
+    def test_shuffle_bytes_conserved(self, input_mb, reducers, map_sel):
+        """Every byte of map output is shuffled to exactly one reducer."""
+        wl = tiny_workload(input_mb=input_mb, reducers=reducers, map_sel=map_sel)
+        rt = make_runtime(wl)
+        res = rt.run()
+        assert res.success
+        total = sum(t.attempts[-1].total_input_bytes for t in rt.am.reduce_tasks)
+        assert total == pytest.approx(wl.shuffle_bytes, rel=1e-6)
+
+    @given(
+        reducers=st.integers(min_value=1, max_value=4),
+        reduce_sel=st.floats(min_value=0.1, max_value=1.0),
+    )
+    @settings(**_SETTINGS)
+    def test_output_bytes_match_selectivity(self, reducers, reduce_sel):
+        wl = tiny_workload(reducers=reducers, reduce_sel=reduce_sel)
+        rt = make_runtime(wl)
+        rt.run()
+        out = sum(f.size for p, f in rt.hdfs._files.items() if p.startswith("out/"))
+        assert out == pytest.approx(wl.shuffle_bytes * reduce_sel, rel=1e-6)
+
+
+class TestRecoveryInvariants:
+    @given(progress=st.floats(min_value=0.05, max_value=0.95))
+    @settings(**_SETTINGS)
+    def test_single_failure_job_still_succeeds(self, progress):
+        """A single transient ReduceTask failure never fails the job."""
+        wl = tiny_workload(reducers=2, reduce_cpu=0.08)
+        rt = make_runtime(wl)
+        kill_reduce_at_progress(progress).install(rt)
+        res = rt.run()
+        assert res.success
+        assert all(t.state is TaskState.SUCCEEDED
+                   for t in rt.am.map_tasks + rt.am.reduce_tasks)
+
+    @given(progress=st.floats(min_value=0.05, max_value=0.95))
+    @settings(**_SETTINGS)
+    def test_failure_never_speeds_up_job_much(self, progress):
+        """A failure can reorder work but must not make the job
+        dramatically faster than failure-free (sanity against
+        accounting bugs that 'lose' work)."""
+        wl = tiny_workload(reducers=2, reduce_cpu=0.08)
+        base = make_runtime(wl).run().elapsed
+        rt = make_runtime(wl)
+        kill_reduce_at_progress(progress).install(rt)
+        res = rt.run()
+        assert res.elapsed > 0.9 * base
+
+    @given(progress=st.floats(min_value=0.05, max_value=0.95))
+    @settings(**_SETTINGS)
+    def test_alm_never_loses_to_failure_by_much(self, progress):
+        """Under ALM, recovery from a transient failure keeps the job
+        within a modest envelope of the failure-free run."""
+        wl = tiny_workload(reducers=2, reduce_cpu=0.08)
+        base = make_runtime(wl).run().elapsed
+        rt = make_runtime(wl, policy=ALMPolicy())
+        kill_reduce_at_progress(progress).install(rt)
+        res = rt.run()
+        assert res.success
+        assert res.elapsed < 2.0 * base
+
+
+class TestDeterminism:
+    @given(seed=st.integers(min_value=0, max_value=2**31 - 1))
+    @settings(**{**_SETTINGS, "max_examples": 6})
+    def test_same_seed_same_result(self, seed):
+        r1 = make_runtime(seed=seed).run()
+        r2 = make_runtime(seed=seed).run()
+        assert r1.elapsed == r2.elapsed
+        assert r1.counters == r2.counters
+
+
+class TestScaling:
+    def test_job_time_monotone_in_input(self):
+        times = [
+            make_runtime(tiny_workload(input_mb=mb)).run().elapsed
+            for mb in (256.0, 1024.0, 4096.0)
+        ]
+        assert times[0] < times[1] < times[2]
+
+    def test_more_reducers_do_not_slow_small_job_down_much(self):
+        t2 = make_runtime(tiny_workload(reducers=2)).run().elapsed
+        t4 = make_runtime(tiny_workload(reducers=4)).run().elapsed
+        assert t4 < t2 * 1.5

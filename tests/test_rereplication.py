@@ -1,0 +1,95 @@
+"""Tests for the HDFS background re-replication daemon."""
+
+import pytest
+
+from repro.cluster import Cluster, ClusterSpec, NodeSpec
+from repro.cluster.node import MB
+from repro.hdfs import Hdfs, HdfsConfig
+from repro.hdfs.rereplication import ReReplicationConfig, ReReplicationDaemon
+from repro.sim import Simulator
+from repro.sim.core import SimulationError
+
+
+@pytest.fixture
+def env():
+    sim = Simulator()
+    spec = ClusterSpec(num_nodes=8, num_racks=2,
+                       node=NodeSpec(disk_bandwidth=200 * MB, nic_bandwidth=200 * MB),
+                       core_bandwidth=800 * MB, seed=5)
+    cluster = Cluster(sim, spec)
+    hdfs = Hdfs(sim, cluster, HdfsConfig(block_size=64 * MB, replication=2))
+    return sim, cluster, hdfs
+
+
+class TestConfig:
+    def test_validation(self):
+        with pytest.raises(SimulationError):
+            ReReplicationConfig(scan_interval=0)
+        with pytest.raises(SimulationError):
+            ReReplicationConfig(max_concurrent=0)
+        with pytest.raises(SimulationError):
+            ReReplicationConfig(detection_delay=-1)
+
+
+class TestReReplication:
+    def test_restores_replication_after_node_loss(self, env):
+        sim, cluster, hdfs = env
+        f = hdfs.ingest("data", 256 * MB)
+        daemon = ReReplicationDaemon(hdfs, ReReplicationConfig(detection_delay=10.0))
+        daemon.start()
+        victim = f.blocks[0].replicas[0]
+        cluster.crash_node(victim)
+        sim.run(until=200.0)
+        daemon.stop()
+        assert daemon.copies_done >= 1
+        for b in f.blocks:
+            assert len(b.live_replicas()) == 2
+
+    def test_waits_for_detection_delay(self, env):
+        sim, cluster, hdfs = env
+        f = hdfs.ingest("data", 64 * MB)
+        daemon = ReReplicationDaemon(hdfs, ReReplicationConfig(detection_delay=50.0))
+        daemon.start()
+        cluster.crash_node(f.blocks[0].replicas[0])
+        sim.run(until=40.0)
+        assert daemon.copies_done == 0  # still within the grace period
+        sim.run(until=200.0)
+        daemon.stop()
+        assert daemon.copies_done == 1
+
+    def test_no_copies_on_healthy_cluster(self, env):
+        sim, cluster, hdfs = env
+        hdfs.ingest("data", 256 * MB)
+        daemon = ReReplicationDaemon(hdfs, ReReplicationConfig(detection_delay=1.0))
+        daemon.start()
+        sim.run(until=60.0)
+        daemon.stop()
+        assert daemon.copies_done == 0
+
+    def test_lost_blocks_are_not_rereplicable(self, env):
+        sim, cluster, hdfs = env
+        f = hdfs.ingest("data", 64 * MB, replication=1)
+        daemon = ReReplicationDaemon(hdfs, ReReplicationConfig(detection_delay=1.0))
+        daemon.start()
+        cluster.crash_node(f.blocks[0].replicas[0])
+        sim.run(until=60.0)
+        daemon.stop()
+        assert daemon.copies_done == 0
+        assert f.blocks[0].lost
+
+    def test_concurrency_cap(self, env):
+        sim, cluster, hdfs = env
+        for i in range(12):
+            hdfs.ingest(f"data{i}", 64 * MB)
+        daemon = ReReplicationDaemon(
+            hdfs, ReReplicationConfig(detection_delay=1.0, max_concurrent=2))
+        daemon.start()
+        # Crash several holders at once.
+        victims = {f.blocks[0].replicas[0] for f in
+                   (hdfs.file(f"data{i}") for i in range(12))}
+        for v in list(victims)[:3]:
+            cluster.crash_node(v)
+        sim.run(until=400.0)
+        daemon.stop()
+        assert daemon.copies_done >= 1
+        assert daemon._in_flight == 0

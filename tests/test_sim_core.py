@@ -1,0 +1,357 @@
+"""Unit tests for the discrete-event simulation kernel."""
+
+import pytest
+
+from repro.sim import AllOf, AnyOf, Event, Interrupt, Simulator
+from repro.sim.core import SimulationError
+
+
+@pytest.fixture
+def sim():
+    return Simulator()
+
+
+class TestTimeAndRun:
+    def test_clock_starts_at_zero(self, sim):
+        assert sim.now == 0.0
+
+    def test_timeout_advances_clock(self, sim):
+        done = []
+
+        def proc(sim):
+            yield sim.timeout(3.5)
+            done.append(sim.now)
+
+        sim.process(proc(sim))
+        sim.run()
+        assert done == [3.5]
+
+    def test_run_until_time_stops_early(self, sim):
+        done = []
+
+        def proc(sim):
+            yield sim.timeout(10)
+            done.append("late")
+
+        sim.process(proc(sim))
+        sim.run(until=5)
+        assert done == []
+        assert sim.now == 5
+
+    def test_run_until_event_returns_value(self, sim):
+        def proc(sim):
+            yield sim.timeout(2)
+            return 42
+
+        p = sim.process(proc(sim))
+        assert sim.run(until=p) == 42
+
+    def test_run_until_past_time_raises(self, sim):
+        sim.process(iter_to_gen(sim, 5))
+        sim.run()
+        with pytest.raises(SimulationError):
+            sim.run(until=1)
+
+    def test_run_out_of_events_before_until_event(self, sim):
+        ev = sim.event()
+        with pytest.raises(SimulationError):
+            sim.run(until=ev)
+
+    def test_negative_timeout_rejected(self, sim):
+        with pytest.raises(SimulationError):
+            sim.timeout(-1)
+
+    def test_zero_timeout_runs_in_order(self, sim):
+        order = []
+
+        def a(sim):
+            yield sim.timeout(0)
+            order.append("a")
+
+        def b(sim):
+            yield sim.timeout(0)
+            order.append("b")
+
+        sim.process(a(sim))
+        sim.process(b(sim))
+        sim.run()
+        assert order == ["a", "b"]
+
+    def test_peek(self, sim):
+        assert sim.peek() == float("inf")
+        sim.timeout(7)
+        assert sim.peek() == 7
+
+
+def iter_to_gen(sim, t):
+    yield sim.timeout(t)
+
+
+class TestEvents:
+    def test_succeed_delivers_value(self, sim):
+        ev = sim.event()
+        got = []
+
+        def proc(sim):
+            got.append((yield ev))
+
+        sim.process(proc(sim))
+
+        def trigger(sim):
+            yield sim.timeout(1)
+            ev.succeed("payload")
+
+        sim.process(trigger(sim))
+        sim.run()
+        assert got == ["payload"]
+
+    def test_double_trigger_rejected(self, sim):
+        ev = sim.event()
+        ev.succeed(1)
+        with pytest.raises(SimulationError):
+            ev.succeed(2)
+        with pytest.raises(SimulationError):
+            ev.fail(RuntimeError())
+
+    def test_fail_propagates_into_process(self, sim):
+        ev = sim.event()
+        caught = []
+
+        def proc(sim):
+            try:
+                yield ev
+            except RuntimeError as exc:
+                caught.append(str(exc))
+
+        sim.process(proc(sim))
+        ev.fail(RuntimeError("boom"))
+        sim.run()
+        assert caught == ["boom"]
+
+    def test_unhandled_failed_event_raises_from_run(self, sim):
+        ev = sim.event()
+        ev.fail(RuntimeError("nobody is listening"))
+        with pytest.raises(RuntimeError, match="nobody is listening"):
+            sim.run()
+
+    def test_defused_failed_event_is_silent(self, sim):
+        ev = sim.event()
+        ev.fail(RuntimeError("ignored"))
+        ev.defuse()
+        sim.run()
+
+    def test_value_before_trigger_raises(self, sim):
+        ev = sim.event()
+        with pytest.raises(SimulationError):
+            _ = ev.value
+
+    def test_fail_requires_exception(self, sim):
+        ev = sim.event()
+        with pytest.raises(SimulationError):
+            ev.fail("not an exception")
+
+    def test_callback_after_processed_runs_immediately(self, sim):
+        ev = sim.event()
+        ev.succeed(9)
+        sim.run()
+        got = []
+        ev._add_callback(lambda e: got.append(e.value))
+        assert got == [9]
+
+
+class TestProcesses:
+    def test_process_return_value(self, sim):
+        def child(sim):
+            yield sim.timeout(1)
+            return "rv"
+
+        def parent(sim, out):
+            out.append((yield sim.process(child(sim))))
+
+        out = []
+        sim.process(parent(sim, out))
+        sim.run()
+        assert out == ["rv"]
+
+    def test_exception_in_child_propagates_to_waiting_parent(self, sim):
+        def child(sim):
+            yield sim.timeout(1)
+            raise ValueError("child broke")
+
+        def parent(sim, out):
+            try:
+                yield sim.process(child(sim))
+            except ValueError as exc:
+                out.append(str(exc))
+
+        out = []
+        sim.process(parent(sim, out))
+        sim.run()
+        assert out == ["child broke"]
+
+    def test_unwaited_process_exception_crashes_run(self, sim):
+        def child(sim):
+            yield sim.timeout(1)
+            raise ValueError("unobserved")
+
+        sim.process(child(sim))
+        with pytest.raises(ValueError, match="unobserved"):
+            sim.run()
+
+    def test_interrupt_wakes_sleeping_process(self, sim):
+        log = []
+
+        def sleeper(sim):
+            try:
+                yield sim.timeout(100)
+            except Interrupt as i:
+                log.append((sim.now, i.cause))
+
+        p = sim.process(sleeper(sim))
+
+        def interrupter(sim):
+            yield sim.timeout(3)
+            p.interrupt("wakeup")
+
+        sim.process(interrupter(sim))
+        sim.run()
+        assert log == [(3, "wakeup")]
+
+    def test_interrupt_finished_process_is_error(self, sim):
+        def quick(sim):
+            yield sim.timeout(1)
+
+        p = sim.process(quick(sim))
+        sim.run()
+        with pytest.raises(SimulationError):
+            p.interrupt()
+
+    def test_interrupted_process_can_rewait_original_event(self, sim):
+        log = []
+
+        def sleeper(sim):
+            t = sim.timeout(10, value="slept")
+            while True:
+                try:
+                    log.append((yield t))
+                    return
+                except Interrupt:
+                    log.append("interrupted")
+
+        p = sim.process(sleeper(sim))
+
+        def interrupter(sim):
+            yield sim.timeout(2)
+            p.interrupt()
+
+        sim.process(interrupter(sim))
+        sim.run()
+        assert log == ["interrupted", "slept"]
+        assert sim.now == 10
+
+    def test_is_alive(self, sim):
+        def quick(sim):
+            yield sim.timeout(5)
+
+        p = sim.process(quick(sim))
+        assert p.is_alive
+        sim.run()
+        assert not p.is_alive
+
+    def test_yielding_non_event_is_error(self, sim):
+        def bad(sim):
+            yield 42
+
+        sim.process(bad(sim))
+        with pytest.raises(SimulationError):
+            sim.run()
+
+    def test_non_generator_rejected(self, sim):
+        with pytest.raises(SimulationError):
+            sim.process(lambda: None)
+
+    def test_active_process_visible_during_execution(self, sim):
+        seen = []
+
+        def proc(sim):
+            seen.append(sim.active_process)
+            yield sim.timeout(0)
+
+        p = sim.process(proc(sim))
+        sim.run()
+        assert seen == [p]
+        assert sim.active_process is None
+
+
+class TestConditions:
+    def test_all_of_collects_values_in_order(self, sim):
+        def mk(sim, t, v):
+            yield sim.timeout(t)
+            return v
+
+        out = []
+
+        def waiter(sim):
+            ps = [sim.process(mk(sim, t, v)) for t, v in [(3, "a"), (1, "b"), (2, "c")]]
+            out.append((yield AllOf(sim, ps)))
+
+        sim.process(waiter(sim))
+        sim.run()
+        assert out == [["a", "b", "c"]]
+        assert sim.now == 3
+
+    def test_any_of_returns_first_value(self, sim):
+        def mk(sim, t, v):
+            yield sim.timeout(t)
+            return v
+
+        out = []
+
+        def waiter(sim):
+            ps = [sim.process(mk(sim, t, v)) for t, v in [(3, "slow"), (1, "fast")]]
+            out.append((yield AnyOf(sim, ps)))
+
+        sim.process(waiter(sim))
+        sim.run()
+        assert out == ["fast"]
+
+    def test_all_of_empty_triggers_immediately(self, sim):
+        out = []
+
+        def waiter(sim):
+            out.append((yield AllOf(sim, [])))
+
+        sim.process(waiter(sim))
+        sim.run()
+        assert out == [[]]
+        assert sim.now == 0
+
+    def test_all_of_fails_fast_on_child_failure(self, sim):
+        def bad(sim):
+            yield sim.timeout(1)
+            raise RuntimeError("fail-fast")
+
+        def slow(sim):
+            yield sim.timeout(100)
+
+        caught = []
+
+        def waiter(sim):
+            try:
+                yield AllOf(sim, [sim.process(bad(sim)), sim.process(slow(sim))])
+            except RuntimeError as exc:
+                caught.append((sim.now, str(exc)))
+
+        sim.process(waiter(sim))
+        sim.run()
+        assert caught == [(1, "fail-fast")]
+
+    def test_any_of_helper_methods(self, sim):
+        ev1, ev2 = sim.event(), sim.event()
+        any_ev = sim.any_of([ev1, ev2])
+        all_ev = sim.all_of([ev1, ev2])
+        ev1.succeed("x")
+        ev2.succeed("y")
+        sim.run()
+        assert any_ev.value == "x"
+        assert all_ev.value == ["x", "y"]

@@ -1,0 +1,96 @@
+"""Tests for stock speculative execution and straggler injection."""
+
+import pytest
+
+from repro.faults import SlowNodeFault
+from repro.mapreduce.config import JobConf
+from repro.mapreduce.speculation import SpeculationConfig, Speculator
+from repro.sim.core import SimulationError
+
+from tests.conftest import make_runtime, tiny_workload
+
+
+def straggler_runtime(speculation, disk_factor=0.05, reducers=4):
+    """A job with one crippled node that hosts work."""
+    rt = make_runtime(
+        tiny_workload(input_mb=1024, reducers=reducers, reduce_cpu=0.05),
+        nodes=6,
+        speculation=speculation,
+    )
+    SlowNodeFault(node_index=0, at_time=2.0, disk_factor=disk_factor).install(rt)
+    return rt
+
+
+class TestSpeculationConfig:
+    def test_validation(self):
+        with pytest.raises(SimulationError):
+            SpeculationConfig(interval=0)
+        with pytest.raises(SimulationError):
+            SpeculationConfig(slowness_threshold=0.9)
+        with pytest.raises(SimulationError):
+            SpeculationConfig(max_speculative=0)
+
+
+class TestSlowNodeFault:
+    def test_degrades_devices(self):
+        rt = make_runtime()
+        SlowNodeFault(node_index=1, at_time=1.0, disk_factor=0.5, nic_factor=0.25).install(rt)
+        rt.run()
+        node = rt.workers[1]
+        assert node.disk.capacity == pytest.approx(node.spec.disk_bandwidth * 0.5)
+        assert node.nic_in.capacity == pytest.approx(node.spec.nic_bandwidth * 0.25)
+        assert node.alive and node.reachable  # still responsive
+
+    def test_factor_validation(self):
+        rt = make_runtime()
+        with pytest.raises(SimulationError):
+            SlowNodeFault(disk_factor=0.0).install(rt)
+        with pytest.raises(SimulationError):
+            SlowNodeFault(nic_factor=1.5).install(rt)
+
+    def test_node_never_declared_lost(self):
+        rt = straggler_runtime(speculation=False)
+        res = rt.run()
+        assert res.success
+        assert res.counters["nodes_lost"] == 0
+
+
+class TestSpeculator:
+    def test_speculation_duplicates_straggler(self):
+        rt = straggler_runtime(speculation=SpeculationConfig(
+            interval=2.0, min_runtime=5.0, slowness_threshold=1.2))
+        res = rt.run()
+        assert res.success
+        assert rt.speculator.launched >= 1
+        assert res.trace.first("speculation") is not None
+
+    def test_speculation_improves_straggler_job(self):
+        t_off = straggler_runtime(speculation=False).run().elapsed
+        t_on = straggler_runtime(speculation=SpeculationConfig(
+            interval=2.0, min_runtime=5.0, slowness_threshold=1.2)).run().elapsed
+        assert t_on < t_off
+
+    def test_loser_attempt_discarded_not_failed(self):
+        rt = straggler_runtime(speculation=SpeculationConfig(
+            interval=2.0, min_runtime=5.0, slowness_threshold=1.2))
+        res = rt.run()
+        # Speculation losers are killed, not counted as failures.
+        assert res.counters["failed_reduce_attempts"] == 0
+        assert res.counters["failed_map_attempts"] == 0
+
+    def test_no_speculation_on_healthy_job(self):
+        rt = make_runtime(
+            tiny_workload(input_mb=1024, reducers=4, reduce_cpu=0.05),
+            speculation=SpeculationConfig(interval=2.0, min_runtime=5.0),
+        )
+        res = rt.run()
+        assert res.success
+        # Homogeneous tasks: nothing is projected >1.35x slower.
+        assert rt.speculator.launched == 0
+
+    def test_at_most_one_duplicate_per_task(self):
+        rt = straggler_runtime(speculation=SpeculationConfig(
+            interval=1.0, min_runtime=3.0, slowness_threshold=1.1))
+        rt.run()
+        for task in rt.am.map_tasks + rt.am.reduce_tasks:
+            assert len(task.attempts) <= 2

@@ -1,0 +1,202 @@
+"""Unit tests for the YARN layer (RM, NM, containers, liveness)."""
+
+import pytest
+
+from repro.cluster import Cluster, ClusterSpec, NodeSpec
+from repro.sim import Simulator
+from repro.sim.core import SimulationError
+from repro.yarn import ContainerKilled, ResourceManager, YarnConfig
+
+
+def make_env(num_nodes=4, memory_mb=8192, **yarn_kw):
+    sim = Simulator()
+    racks = min(2, num_nodes)
+    cluster = Cluster(sim, ClusterSpec(num_nodes=num_nodes, num_racks=racks, node=NodeSpec(memory_mb=memory_mb)))
+    cfg = YarnConfig(nm_memory_fraction=1.0, **yarn_kw)
+    rm = ResourceManager(sim, cluster, cfg)
+    return sim, cluster, rm
+
+
+class TestAllocation:
+    def test_grant_after_allocation_latency(self):
+        sim, cluster, rm = make_env(allocation_latency=1.0)
+        grant = rm.request_container(2048)
+        c = sim.run(until=grant)
+        assert sim.now == pytest.approx(1.0)
+        assert c.memory_mb == 2048
+        assert c.alive
+
+    def test_memory_rounding_to_allocation_bounds(self):
+        sim, cluster, rm = make_env()
+        c = sim.run(until=rm.request_container(100))
+        assert c.memory_mb == 1024  # min allocation
+        c2 = sim.run(until=rm.request_container(99999))
+        assert c2.memory_mb == 6144  # max allocation
+
+    def test_queueing_when_cluster_full(self):
+        sim, cluster, rm = make_env(num_nodes=1, memory_mb=4096)
+        c1 = sim.run(until=rm.request_container(4096))
+        grant2 = rm.request_container(4096)
+        sim.run(until=sim.now + 20)
+        assert not grant2.triggered
+        rm.release_container(c1)
+        c2 = sim.run(until=grant2)
+        assert c2.alive
+
+    def test_priority_order(self):
+        sim, cluster, rm = make_env(num_nodes=1, memory_mb=4096)
+        c1 = sim.run(until=rm.request_container(4096))
+        low = rm.request_container(4096, priority=10)
+        high = rm.request_container(4096, priority=1)
+        rm.release_container(c1)
+        first = sim.run(until=sim.any_of([low, high]))
+        assert high.triggered and not low.triggered
+        assert first is high.value
+
+    def test_preferred_node_honoured(self):
+        sim, cluster, rm = make_env()
+        target = cluster.nodes[2]
+        c = sim.run(until=rm.request_container(1024, preferred_nodes=[target]))
+        assert c.node is target
+
+    def test_excluded_node_avoided(self):
+        sim, cluster, rm = make_env(num_nodes=2)
+        bad = cluster.nodes[0]
+        for _ in range(4):
+            c = sim.run(until=rm.request_container(1024, exclude_nodes=[bad]))
+            assert c.node is not bad
+
+    def test_load_balancing_spreads_containers(self):
+        sim, cluster, rm = make_env(num_nodes=4)
+        nodes = set()
+        for _ in range(4):
+            c = sim.run(until=rm.request_container(1024))
+            nodes.add(c.node.node_id)
+        assert len(nodes) == 4
+
+    def test_cancel_request(self):
+        sim, cluster, rm = make_env(num_nodes=1, memory_mb=4096)
+        c1 = sim.run(until=rm.request_container(4096))
+        grant = rm.request_container(4096)
+        rm.cancel_request(grant)
+        rm.release_container(c1)
+        sim.run(until=sim.now + 5)
+        assert not grant.triggered
+
+    def test_available_mb_accounting(self):
+        sim, cluster, rm = make_env(num_nodes=2, memory_mb=4096)
+        assert rm.available_mb() == 8192
+        sim.run(until=rm.request_container(2048))
+        assert rm.available_mb() == 8192 - 2048
+
+
+class TestNodeManager:
+    def test_over_allocation_rejected(self):
+        sim, cluster, rm = make_env(num_nodes=1, memory_mb=2048)
+        nm = rm.node_managers[0]
+        nm.allocate(2048)
+        with pytest.raises(SimulationError):
+            nm.allocate(1)
+
+    def test_double_release_is_noop(self):
+        sim, cluster, rm = make_env()
+        nm = rm.node_managers[0]
+        c = nm.allocate(1024)
+        nm.release(c)
+        nm.release(c)
+        assert nm.used_mb == 0
+
+    def test_memory_fraction_reserves_headroom(self):
+        sim = Simulator()
+        cluster = Cluster(sim, ClusterSpec(num_nodes=1, num_racks=1, node=NodeSpec(memory_mb=10000)))
+        rm = ResourceManager(sim, cluster, YarnConfig(nm_memory_fraction=0.9))
+        assert rm.node_managers[0].capacity_mb == 9000
+
+
+class TestLiveness:
+    def test_node_loss_detected_after_timeout(self):
+        sim, cluster, rm = make_env(nm_liveness_timeout=70.0)
+        lost = []
+        rm.node_lost_listeners.append(lambda n: lost.append((n.name, sim.now)))
+
+        def killer(sim):
+            yield sim.timeout(10.0)
+            cluster.crash_node(cluster.nodes[1])
+
+        sim.process(killer(sim))
+        sim.run(until=200.0)
+        assert len(lost) == 1
+        name, t = lost[0]
+        assert name == "node-1"
+        # Last heartbeat at ~10s, expiry 70s later, detected within a
+        # heartbeat-scan period.
+        assert 79.0 <= t <= 82.0
+
+    def test_network_stop_also_detected(self):
+        sim, cluster, rm = make_env(nm_liveness_timeout=70.0)
+        lost = []
+        rm.node_lost_listeners.append(lambda n: lost.append(n.name))
+
+        def killer(sim):
+            yield sim.timeout(5.0)
+            cluster.stop_network(cluster.nodes[2])
+
+        sim.process(killer(sim))
+        sim.run(until=100.0)
+        assert lost == ["node-2"]
+
+    def test_containers_killed_on_node_loss(self):
+        sim, cluster, rm = make_env(nm_liveness_timeout=10.0)
+        c = sim.run(until=rm.request_container(1024, preferred_nodes=[cluster.nodes[1]]))
+        caught = []
+
+        def task(sim):
+            try:
+                yield c.killed
+            except ContainerKilled as exc:
+                caught.append(exc.reason)
+
+        sim.process(task(sim))
+        cluster.crash_node(cluster.nodes[1])
+        sim.run(until=50.0)
+        assert caught == ["node-1 lost"]
+        assert not c.alive
+
+    def test_lost_node_not_scheduled(self):
+        sim, cluster, rm = make_env(num_nodes=2, nm_liveness_timeout=5.0)
+        cluster.crash_node(cluster.nodes[0])
+        sim.run(until=10.0)
+        assert rm.is_lost(cluster.nodes[0])
+        for _ in range(3):
+            c = sim.run(until=rm.request_container(1024))
+            assert c.node is cluster.nodes[1]
+
+    def test_grant_in_flight_when_node_dies_is_retried(self):
+        sim, cluster, rm = make_env(num_nodes=2, allocation_latency=5.0, nm_liveness_timeout=5.0)
+        target = cluster.nodes[0]
+        grant = rm.request_container(1024, preferred_nodes=[target])
+
+        def killer(sim):
+            yield sim.timeout(1.0)
+            cluster.crash_node(target)
+
+        sim.process(killer(sim))
+        c = sim.run(until=grant)
+        assert c.node is cluster.nodes[1]
+
+    def test_healthy_nodes_listing(self):
+        sim, cluster, rm = make_env(num_nodes=3, nm_liveness_timeout=5.0)
+        cluster.crash_node(cluster.nodes[1])
+        sim.run(until=10.0)
+        healthy = {n.node_id for n in rm.healthy_nodes()}
+        assert healthy == {0, 2}
+
+
+class TestConfigValidation:
+    def test_bad_bounds(self):
+        with pytest.raises(SimulationError):
+            YarnConfig(min_allocation_mb=0)
+        with pytest.raises(SimulationError):
+            YarnConfig(min_allocation_mb=2048, max_allocation_mb=1024)
+        with pytest.raises(SimulationError):
+            YarnConfig(nm_heartbeat_interval=0)
