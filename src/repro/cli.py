@@ -116,6 +116,12 @@ def _build_parser() -> argparse.ArgumentParser:
     p_exp.add_argument("name", choices=_EXPERIMENTS)
     p_exp.add_argument("--scale", type=float, default=0.5,
                        help="input-size scale vs the paper (default 0.5)")
+    p_exp.add_argument("--jobs", type=int, default=None, metavar="N",
+                       help="run seeded trials across N worker processes "
+                            "(sets REPRO_JOBS; default: serial)")
+    p_exp.add_argument("--trial-cache", metavar="DIR", default=None,
+                       help="memoize completed trials under DIR "
+                            "(sets REPRO_TRIAL_CACHE)")
 
     sub.add_parser("list", help="show workloads, policies and experiments")
     return parser
@@ -162,7 +168,16 @@ def cmd_run(args) -> int:
 
 
 def cmd_experiment(args) -> int:
+    import os
+
     import repro.experiments as ex
+
+    # The runner reads its parallelism/cache settings from the
+    # environment so every driver picks them up without plumbing.
+    if args.jobs is not None:
+        os.environ["REPRO_JOBS"] = str(max(1, args.jobs))
+    if args.trial_cache is not None:
+        os.environ["REPRO_TRIAL_CACHE"] = args.trial_cache
 
     scale = args.scale
     name = args.name

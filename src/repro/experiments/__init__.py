@@ -7,7 +7,12 @@ and the examples. ``scale`` rescales input sizes (1.0 = the paper's
 sizes) so quick runs and full reproductions share one code path.
 """
 
-from repro.experiments.common import ExperimentConfig, format_table, run_benchmark_job
+from repro.experiments.common import (
+    ExperimentConfig,
+    format_table,
+    run_benchmark_job,
+    run_benchmark_trial,
+)
 from repro.experiments.fig01_recovery import fig01_recovery_time
 from repro.experiments.fig02_delay import fig02_delayed_execution
 from repro.experiments.fig03_temporal import fig03_temporal_amplification
@@ -38,5 +43,6 @@ __all__ = [
     "fig15_sfm_plus_alg",
     "format_table",
     "run_benchmark_job",
+    "run_benchmark_trial",
     "table2_spatial_recovery",
 ]

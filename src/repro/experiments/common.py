@@ -12,6 +12,7 @@ from repro.hdfs.hdfs import HdfsConfig, ReplicationLevel
 from repro.mapreduce.config import JobConf
 from repro.mapreduce.job import JobResult, MapReduceRuntime
 from repro.mapreduce.recovery import YarnRecoveryPolicy
+from repro.runner import TrialRunner, trace_digest
 from repro.workloads import Workload
 from repro.yarn.rm import YarnConfig
 
@@ -21,6 +22,7 @@ __all__ = [
     "format_table",
     "make_policy",
     "run_benchmark_job",
+    "run_benchmark_trial",
     "scale_from_env",
 ]
 
@@ -95,6 +97,36 @@ def run_benchmark_job(
     return rt, rt.run()
 
 
+def run_benchmark_trial(
+    seed: int,
+    workload: Workload,
+    system: str = "yarn",
+    fault_factory: Callable[[], Any] | None = None,
+    base_config: ExperimentConfig | None = None,
+    job_name: str = "trial",
+    policy_kwargs: dict | None = None,
+) -> dict[str, Any]:
+    """One seeded job, reduced to a picklable payload.
+
+    This is the :class:`~repro.runner.TrialRunner` fan-out target for
+    every experiment that averages or sweeps independent seeds: workers
+    cannot ship a live :class:`MapReduceRuntime` back across the process
+    boundary, so the trial collapses to elapsed time, counters and the
+    trace digest that pins seed-determinism.
+    """
+    cfg = (base_config or ExperimentConfig()).with_seed(seed)
+    faults = [fault_factory()] if fault_factory is not None else []
+    _, res = run_benchmark_job(workload, system, faults=faults, config=cfg,
+                               job_name=f"{job_name}-s{seed}",
+                               policy_kwargs=policy_kwargs)
+    return {
+        "elapsed": res.elapsed,
+        "success": res.success,
+        "counters": dict(res.counters),
+        "digest": trace_digest(res.trace),
+    }
+
+
 def averaged_job_time(
     workload: Workload,
     system: str,
@@ -106,16 +138,24 @@ def averaged_job_time(
 ) -> float:
     """Mean job time over ``repeats`` seeds (the paper's 'average of
     three test runs'); damps placement/scheduling noise that a single
-    simulated run shares with a single testbed run."""
+    simulated run shares with a single testbed run.
+
+    Trials go through the :class:`~repro.runner.TrialRunner`: with
+    ``REPRO_JOBS > 1`` (and a picklable spec) the seeds run in worker
+    processes, and with ``REPRO_TRIAL_CACHE`` set, completed seeds are
+    memoized on disk. Results are identical to the serial path.
+    """
     cfg = config or ExperimentConfig()
-    times = []
-    for k in range(repeats):
-        run_cfg = cfg.with_seed(cfg.seed + 101 * k)
-        faults = [fault_factory()] if fault_factory is not None else []
-        _, res = run_benchmark_job(workload, system, faults=faults,
-                                   config=run_cfg, job_name=f"{job_name}-s{k}",
-                                   policy_kwargs=policy_kwargs)
-        times.append(res.elapsed)
+    seeds = [cfg.seed + 101 * k for k in range(repeats)]
+    results = TrialRunner().run(
+        experiment=f"averaged_job_time:{workload.name}:{system}:{job_name}",
+        fn=run_benchmark_trial,
+        seeds=seeds,
+        kwargs=dict(workload=workload, system=system, fault_factory=fault_factory,
+                    base_config=cfg, job_name=job_name,
+                    policy_kwargs=policy_kwargs),
+    )
+    times = [r.payload["elapsed"] for r in results]
     return sum(times) / len(times)
 
 

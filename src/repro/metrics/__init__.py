@@ -8,12 +8,13 @@ from repro.metrics.export import (
     trace_records,
 )
 from repro.metrics.report import failure_timeline, progress_curve, task_gantt
-from repro.metrics.trace import ProgressSampler, Trace, TraceEvent
+from repro.metrics.trace import ProgressSampler, Trace, TraceEvent, phase_durations
 
 __all__ = [
     "ProgressSampler",
     "Trace",
     "TraceEvent",
+    "phase_durations",
     "export_result_json",
     "export_series_csv",
     "failure_timeline",

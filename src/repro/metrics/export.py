@@ -34,6 +34,7 @@ def result_summary(result: "JobResult") -> dict[str, Any]:
         "start_time": result.start_time,
         "end_time": result.end_time,
         "counters": dict(result.counters),
+        "trace": result.trace.summary(),
     }
 
 

@@ -4,16 +4,22 @@ Everything the experiment drivers report — recovery timelines (Figs. 3,
 10), additional-failure counts (Fig. 4, Table II), phase durations — is
 derived from this trace rather than ad-hoc counters, so tests and
 benchmarks read the same source of truth.
+
+Queries are backed by a per-kind index maintained on ``log``: the hot
+paths (``of_kind``/``count``/``first``/``last``/``times``) touch only
+the events of the requested kind instead of scanning the whole log,
+which matters once the runner fans out thousands of trials.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from collections import deque
+from dataclasses import dataclass
 from typing import Any, Iterable
 
 from repro.sim.core import Simulator
 
-__all__ = ["ProgressSampler", "Trace", "TraceEvent"]
+__all__ = ["ProgressSampler", "Trace", "TraceEvent", "phase_durations"]
 
 
 @dataclass(frozen=True)
@@ -26,39 +32,53 @@ class TraceEvent:
         return self.data[key]
 
 
+def _matches(event: TraceEvent, match: dict[str, Any]) -> bool:
+    return all(event.data.get(k) == v for k, v in match.items())
+
+
 class Trace:
-    """Append-only log of job events plus sampled time series."""
+    """Append-only log of job events plus sampled time series.
+
+    ``events`` keeps the global order (exports and text reports render
+    it); ``_by_kind`` indexes the same event objects per kind so the
+    query helpers are O(matching events), not O(all events).
+    """
 
     def __init__(self, sim: Simulator) -> None:
         self.sim = sim
         self.events: list[TraceEvent] = []
         self.series: dict[str, list[tuple[float, float]]] = {}
+        self._by_kind: dict[str, list[TraceEvent]] = {}
 
     # -- events -----------------------------------------------------------
     def log(self, kind: str, **data: Any) -> None:
-        self.events.append(TraceEvent(self.sim.now, kind, data))
+        event = TraceEvent(self.sim.now, kind, data)
+        self.events.append(event)
+        self._by_kind.setdefault(kind, []).append(event)
 
     def of_kind(self, kind: str) -> list[TraceEvent]:
-        return [e for e in self.events if e.kind == kind]
+        return list(self._by_kind.get(kind, ()))
 
     def count(self, kind: str, **match: Any) -> int:
-        return sum(1 for e in self.of_kind(kind) if all(e.data.get(k) == v for k, v in match.items()))
+        bucket = self._by_kind.get(kind, ())
+        if not match:
+            return len(bucket)
+        return sum(1 for e in bucket if _matches(e, match))
 
     def first(self, kind: str, **match: Any) -> TraceEvent | None:
-        for e in self.of_kind(kind):
-            if all(e.data.get(k) == v for k, v in match.items()):
+        for e in self._by_kind.get(kind, ()):
+            if _matches(e, match):
                 return e
         return None
 
     def last(self, kind: str, **match: Any) -> TraceEvent | None:
-        found = None
-        for e in self.of_kind(kind):
-            if all(e.data.get(k) == v for k, v in match.items()):
-                found = e
-        return found
+        for e in reversed(self._by_kind.get(kind, ())):
+            if _matches(e, match):
+                return e
+        return None
 
     def times(self, kind: str, **match: Any) -> list[float]:
-        return [e.time for e in self.of_kind(kind) if all(e.data.get(k) == v for k, v in match.items())]
+        return [e.time for e in self._by_kind.get(kind, ()) if _matches(e, match)]
 
     # -- series ----------------------------------------------------------
     def sample(self, name: str, value: float) -> None:
@@ -67,10 +87,29 @@ class Trace:
     def series_values(self, name: str) -> list[tuple[float, float]]:
         return list(self.series.get(name, []))
 
+    # -- aggregates -------------------------------------------------------
+    def summary(self) -> dict[str, Any]:
+        """Cheap aggregate view: per-kind counts, series lengths and the
+        event time span — no per-event detail, safe to ship across
+        process boundaries or into JSON."""
+        return {
+            "events": len(self.events),
+            "kinds": {kind: len(bucket) for kind, bucket in self._by_kind.items()},
+            "series": {name: len(points) for name, points in self.series.items()},
+            "first_time": self.events[0].time if self.events else None,
+            "last_time": self.events[-1].time if self.events else None,
+        }
+
 
 class ProgressSampler:
     """Periodically samples callables into trace series (e.g. the reduce
-    progress curves plotted in Figs. 3, 4 and 10)."""
+    progress curves plotted in Figs. 3, 4 and 10).
+
+    A stop→start cycle must hand over cleanly: the old loop may still be
+    suspended on its timeout when ``start`` spawns a new one, so each
+    loop carries the generation it was started under and exits as soon
+    as it wakes into a newer generation — at most one loop ever samples.
+    """
 
     def __init__(self, sim: Simulator, trace: Trace, interval: float = 1.0) -> None:
         self.sim = sim
@@ -78,6 +117,7 @@ class ProgressSampler:
         self.interval = interval
         self._probes: dict[str, Any] = {}
         self._running = False
+        self._generation = 0
 
     def add_probe(self, name: str, fn) -> None:
         self._probes[name] = fn
@@ -85,20 +125,51 @@ class ProgressSampler:
     def start(self) -> None:
         if not self._running:
             self._running = True
-            self.sim.process(self._loop(), name="progress-sampler")
+            self._generation += 1
+            self.sim.process(self._loop(self._generation), name="progress-sampler")
 
     def stop(self) -> None:
         self._running = False
 
-    def _loop(self):
-        while self._running:
+    def _loop(self, generation: int):
+        while self._running and generation == self._generation:
             for name, fn in self._probes.items():
                 self.trace.sample(name, fn())
             yield self.sim.timeout(self.interval)
 
 
-def phase_durations(events: Iterable[TraceEvent], start_kind: str, end_kind: str) -> list[float]:
-    """Pair up start/end events in order and return durations."""
-    starts = [e.time for e in events if e.kind == start_kind]
-    ends = [e.time for e in events if e.kind == end_kind]
-    return [b - a for a, b in zip(starts, ends)]
+def phase_durations(
+    events: Iterable[TraceEvent],
+    start_kind: str,
+    end_kind: str,
+    key: str | None = None,
+    strict: bool = False,
+) -> list[float]:
+    """Pair start/end events and return durations, in end order.
+
+    With ``key`` (e.g. ``"task"``), a start only pairs with an end that
+    carries the same ``data[key]`` — interleaved phases from different
+    tasks no longer misalign every subsequent pair. Within one key,
+    pairing is FIFO (earliest open start first). Ends with no open start
+    are ignored; unmatched starts are dropped, or raise ``ValueError``
+    when ``strict`` is set.
+    """
+    open_starts: dict[Any, deque[float]] = {}
+    durations: list[float] = []
+    for e in events:
+        if e.kind not in (start_kind, end_kind):
+            continue
+        k = e.data.get(key) if key is not None else None
+        if e.kind == start_kind:
+            open_starts.setdefault(k, deque()).append(e.time)
+        else:
+            queue = open_starts.get(k)
+            if queue:
+                durations.append(e.time - queue.popleft())
+    if strict:
+        unmatched = sum(len(q) for q in open_starts.values())
+        if unmatched:
+            raise ValueError(
+                f"{unmatched} unmatched {start_kind!r} event(s) with no {end_kind!r}"
+            )
+    return durations

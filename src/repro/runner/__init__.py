@@ -1,0 +1,20 @@
+"""Trial execution layer: parallel seeded fan-out, memoization and
+determinism verification for every experiment driver."""
+
+from repro.runner.runner import (
+    DeterminismError,
+    TrialResult,
+    TrialRunner,
+    jobs_from_env,
+    spec_digest,
+    trace_digest,
+)
+
+__all__ = [
+    "DeterminismError",
+    "TrialResult",
+    "TrialRunner",
+    "jobs_from_env",
+    "spec_digest",
+    "trace_digest",
+]

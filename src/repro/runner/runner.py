@@ -1,0 +1,264 @@
+"""Parallel seeded-trial execution with disk memoization.
+
+Every experiment in this repo averages (or sweeps) seeded trials that
+are completely independent of one another, so the runner is the one
+place that knows how to execute them fast and honestly:
+
+- ``REPRO_JOBS > 1`` fans trials out across worker processes with
+  :class:`concurrent.futures.ProcessPoolExecutor`; ``REPRO_JOBS=1``
+  (the default) runs them in-process, serially, in seed order — the
+  deterministic reference path.
+- A trial is a **module-level** callable ``fn(seed, **kwargs)``
+  returning a JSON-serialisable dict. Specs that cannot be pickled
+  (lambda fault factories, closures) silently fall back to the serial
+  path so existing callers keep working.
+- Completed trials are memoized on disk keyed by
+  ``(experiment, config hash, seed)`` when a cache directory is
+  configured (``REPRO_TRIAL_CACHE``); specs containing unnameable
+  callables are never cached.
+- ``REPRO_VERIFY=1`` re-runs the first trial in-process and compares
+  payloads: the same seed must produce the identical result (for job
+  trials, the identical trace digest) no matter where it ran.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pickle
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import TYPE_CHECKING, Any, Callable, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.metrics.trace import Trace
+
+__all__ = [
+    "DeterminismError",
+    "TrialResult",
+    "TrialRunner",
+    "jobs_from_env",
+    "spec_digest",
+    "trace_digest",
+]
+
+
+class DeterminismError(RuntimeError):
+    """A seed produced different results on re-execution."""
+
+
+def jobs_from_env(default: int = 1) -> int:
+    """Worker-process count: the ``REPRO_JOBS`` environment variable,
+    clamped to >= 1. ``1`` means serial in-process execution."""
+    try:
+        return max(1, int(os.environ.get("REPRO_JOBS", str(default))))
+    except ValueError:
+        return max(1, default)
+
+
+def trace_digest(trace: "Trace") -> str:
+    """Stable content hash of a trace: every event (time, kind, data)
+    plus every sampled series point, canonically JSON-encoded. Two runs
+    of the same seed must produce the same digest — this is the
+    determinism contract the runner verifies."""
+    from repro.metrics.export import trace_records
+
+    payload = {
+        "events": trace_records(trace),
+        "series": {name: points for name, points in trace.series.items()},
+    }
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"), default=str)
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+def _stable_name(value: Any) -> str | None:
+    """A process-independent string for one spec value, or ``None`` when
+    the value has no stable identity (lambdas, closures, default reprs
+    that embed memory addresses)."""
+    if callable(value):
+        name = f"{getattr(value, '__module__', '')}.{getattr(value, '__qualname__', '')}"
+        if "<lambda>" in name or "<locals>" in name or name == ".":
+            return None
+        return name
+    text = repr(value)
+    if " at 0x" in text:
+        return None
+    return text
+
+
+def spec_digest(experiment: str, fn: Callable, kwargs: dict[str, Any]) -> str | None:
+    """Cache key for a trial spec, or ``None`` if any part of the spec
+    is unnameable — such specs are executed but never memoized."""
+    parts = [experiment, _stable_name(fn) or ""]
+    if not parts[1]:
+        return None
+    for key in sorted(kwargs):
+        name = _stable_name(kwargs[key])
+        if name is None:
+            return None
+        parts.append(f"{key}={name}")
+    blob = "\x00".join(parts)
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+def _cache_dir_from_env() -> Path | None:
+    raw = os.environ.get("REPRO_TRIAL_CACHE", "")
+    if not raw or raw == "0":
+        return None
+    if raw == "1":
+        return Path.home() / ".cache" / "repro" / "trials"
+    return Path(raw)
+
+
+def _invoke_trial(fn: Callable, seed: int, kwargs: dict[str, Any]) -> tuple[dict, float]:
+    """Top-level trial entry point (must stay module-level: it is the
+    function shipped to worker processes)."""
+    t0 = time.perf_counter()
+    payload = fn(seed, **kwargs)
+    if not isinstance(payload, dict):
+        payload = {"value": payload}
+    return payload, time.perf_counter() - t0
+
+
+def _spec_picklable(fn: Callable, kwargs: dict[str, Any]) -> bool:
+    try:
+        pickle.dumps((fn, kwargs))
+        return True
+    except Exception:
+        return False
+
+
+@dataclass
+class TrialResult:
+    """Outcome of one seeded trial: a picklable, JSON-serialisable
+    payload plus execution metadata."""
+
+    experiment: str
+    seed: int
+    payload: dict[str, Any] = field(default_factory=dict)
+    cached: bool = False
+    wall_seconds: float = 0.0
+
+
+class TrialRunner:
+    """Fans seeded trials out across processes, memoizes them on disk
+    and optionally verifies seed-determinism.
+
+    Parameters default from the environment so experiment drivers can
+    construct a runner unconditionally: ``REPRO_JOBS`` (parallelism,
+    default 1), ``REPRO_TRIAL_CACHE`` (cache directory; ``1`` means
+    ``~/.cache/repro/trials``, unset/``0`` disables), ``REPRO_VERIFY``
+    (re-run the first seed and compare payloads).
+    """
+
+    def __init__(
+        self,
+        jobs: int | None = None,
+        cache_dir: str | Path | None = None,
+        verify: bool | None = None,
+    ) -> None:
+        self.jobs = jobs_from_env() if jobs is None else max(1, int(jobs))
+        self.cache_dir = Path(cache_dir) if cache_dir is not None else _cache_dir_from_env()
+        if verify is None:
+            verify = os.environ.get("REPRO_VERIFY", "") not in ("", "0")
+        self.verify = verify
+
+    # -- public API ---------------------------------------------------------
+    def run(
+        self,
+        experiment: str,
+        fn: Callable[..., dict[str, Any]],
+        seeds: Sequence[int],
+        kwargs: dict[str, Any] | None = None,
+    ) -> list[TrialResult]:
+        """Run ``fn(seed, **kwargs)`` for every seed; results come back
+        in seed-argument order regardless of completion order."""
+        kwargs = dict(kwargs or {})
+        cache_key = spec_digest(experiment, fn, kwargs) if self.cache_dir else None
+
+        results: dict[int, TrialResult] = {}
+        todo: list[int] = []
+        for seed in seeds:
+            payload = self._cache_load(cache_key, seed)
+            if payload is not None:
+                results[seed] = TrialResult(experiment, seed, payload, cached=True)
+            else:
+                todo.append(seed)
+
+        if todo:
+            if self.jobs > 1 and len(todo) > 1 and _spec_picklable(fn, kwargs):
+                fresh = self._run_parallel(experiment, fn, todo, kwargs)
+            else:
+                fresh = {s: self._run_one(experiment, fn, s, kwargs) for s in todo}
+            for seed, result in fresh.items():
+                self._cache_store(cache_key, seed, result.payload)
+                results[seed] = result
+
+        ordered = [results[s] for s in seeds]
+        if self.verify and ordered:
+            self._verify_first(experiment, fn, kwargs, ordered[0])
+        return ordered
+
+    # -- execution ----------------------------------------------------------
+    def _run_one(self, experiment: str, fn: Callable, seed: int,
+                 kwargs: dict[str, Any]) -> TrialResult:
+        payload, wall = _invoke_trial(fn, seed, kwargs)
+        return TrialResult(experiment, seed, payload, wall_seconds=wall)
+
+    def _run_parallel(self, experiment: str, fn: Callable, seeds: list[int],
+                      kwargs: dict[str, Any]) -> dict[int, TrialResult]:
+        workers = min(self.jobs, len(seeds))
+        out: dict[int, TrialResult] = {}
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            futures = {
+                seed: pool.submit(_invoke_trial, fn, seed, kwargs) for seed in seeds
+            }
+            for seed, future in futures.items():
+                payload, wall = future.result()
+                out[seed] = TrialResult(experiment, seed, payload, wall_seconds=wall)
+        return out
+
+    def _verify_first(self, experiment: str, fn: Callable,
+                      kwargs: dict[str, Any], reference: TrialResult) -> None:
+        rerun = self._run_one(experiment, fn, reference.seed, kwargs)
+        if rerun.payload != reference.payload:
+            raise DeterminismError(
+                f"{experiment}: seed {reference.seed} is not deterministic — "
+                f"payloads differ between executions "
+                f"({_payload_digest(reference.payload)} vs {_payload_digest(rerun.payload)})"
+            )
+
+    # -- memoization --------------------------------------------------------
+    def _cache_path(self, cache_key: str, seed: int) -> Path:
+        assert self.cache_dir is not None
+        return self.cache_dir / cache_key[:2] / f"{cache_key}-s{seed}.json"
+
+    def _cache_load(self, cache_key: str | None, seed: int) -> dict[str, Any] | None:
+        if cache_key is None or self.cache_dir is None:
+            return None
+        path = self._cache_path(cache_key, seed)
+        try:
+            return json.loads(path.read_text())["payload"]
+        except (OSError, ValueError, KeyError):
+            return None
+
+    def _cache_store(self, cache_key: str | None, seed: int,
+                     payload: dict[str, Any]) -> None:
+        if cache_key is None or self.cache_dir is None:
+            return
+        path = self._cache_path(cache_key, seed)
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            path.write_text(json.dumps({"seed": seed, "payload": payload}))
+        except (OSError, TypeError, ValueError):
+            # Unserialisable payloads / read-only dirs: skip the cache,
+            # never fail the trial.
+            pass
+
+
+def _payload_digest(payload: dict[str, Any]) -> str:
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"), default=str)
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()[:12]

@@ -281,13 +281,13 @@ class Condition(Event):
                 raise SimulationError("all condition events must share one simulator")
         self._remaining = len(self.events)
         if not self.events:
-            self.succeed(self._collect())
+            self._on_empty()
             return
         for ev in self.events:
             ev._add_callback(self._check)
 
-    def _collect(self) -> list[Any]:
-        return [ev._value for ev in self.events if ev._triggered and ev._exc is None]
+    def _on_empty(self) -> None:  # pragma: no cover - abstract
+        raise NotImplementedError
 
     def _check(self, event: Event) -> None:  # pragma: no cover - abstract
         raise NotImplementedError
@@ -297,9 +297,15 @@ class AllOf(Condition):
     """Triggers when every child event has triggered; value is the list
     of child values in their original order. Fails fast if any child
     fails.
+
+    ``AllOf([])`` is vacuously satisfied and succeeds immediately with
+    an empty value list — "wait for all of nothing" is a completed wait.
     """
 
     __slots__ = ()
+
+    def _on_empty(self) -> None:
+        self.succeed([])
 
     def _check(self, event: Event) -> None:
         if self._triggered:
@@ -316,9 +322,18 @@ class AllOf(Condition):
 class AnyOf(Condition):
     """Triggers when the first child event triggers; value is that
     child's value. Fails if the first child to trigger fails.
+
+    ``AnyOf([])`` raises :class:`SimulationError`: none of zero events
+    can ever trigger, and succeeding immediately (the old behaviour)
+    silently masked callers that built an empty child list by mistake.
     """
 
     __slots__ = ()
+
+    def _on_empty(self) -> None:
+        raise SimulationError(
+            "AnyOf requires at least one event: an empty AnyOf can never trigger"
+        )
 
     def _check(self, event: Event) -> None:
         if self._triggered:

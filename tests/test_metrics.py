@@ -12,10 +12,12 @@ from repro.metrics import (
     export_series_csv,
     failure_timeline,
     progress_curve,
+    phase_durations,
     result_summary,
     task_gantt,
     trace_records,
 )
+from repro.metrics.trace import TraceEvent
 from repro.sim import Simulator
 
 from tests.conftest import make_runtime, tiny_workload
@@ -70,6 +72,139 @@ class TestTrace:
         trace = Trace(sim)
         trace.log("k", x="y")
         assert trace.events[0]["x"] == "y"
+
+    def test_kind_index_matches_linear_scan(self):
+        """The per-kind index must answer every query identically to a
+        full scan of ``events`` (the pre-index implementation)."""
+        sim = Simulator()
+        trace = Trace(sim)
+        for i in range(50):
+            trace.log(f"kind-{i % 3}", i=i, parity=i % 2)
+        for kind in ("kind-0", "kind-1", "kind-2", "missing"):
+            scan = [e for e in trace.events if e.kind == kind]
+            assert trace.of_kind(kind) == scan
+            assert trace.count(kind) == len(scan)
+            assert trace.count(kind, parity=1) == sum(
+                1 for e in scan if e.data.get("parity") == 1)
+            matches = [e for e in scan if e.data.get("parity") == 0]
+            assert trace.first(kind, parity=0) == (matches[0] if matches else None)
+            assert trace.last(kind, parity=0) == (matches[-1] if matches else None)
+            assert trace.times(kind) == [e.time for e in scan]
+
+    def test_of_kind_returns_copy(self):
+        sim = Simulator()
+        trace = Trace(sim)
+        trace.log("k", a=1)
+        trace.of_kind("k").clear()
+        assert trace.count("k") == 1
+
+    def test_summary(self):
+        sim = Simulator()
+        trace = Trace(sim)
+        assert trace.summary()["events"] == 0
+        assert trace.summary()["first_time"] is None
+        trace.log("a", x=1)
+        trace.log("b")
+        trace.log("a")
+        trace.sample("s", 0.5)
+        s = trace.summary()
+        assert s == {
+            "events": 3,
+            "kinds": {"a": 2, "b": 1},
+            "series": {"s": 1},
+            "first_time": 0.0,
+            "last_time": 0.0,
+        }
+
+
+class TestProgressSampler:
+    def test_restart_does_not_duplicate_samples(self):
+        """Regression: after a stop→start cycle the old suspended loop
+        used to wake, see ``_running`` and keep sampling alongside the
+        new loop, doubling every series point."""
+        sim = Simulator()
+        trace = Trace(sim)
+        sampler = ProgressSampler(sim, trace, interval=1.0)
+        sampler.add_probe("clock", lambda: sim.now)
+
+        def driver(sim):
+            sampler.start()
+            yield sim.timeout(2.5)
+            sampler.stop()
+            sampler.start()  # old loop still pending its 3.0 wake-up
+            yield sim.timeout(2.0)
+            sampler.stop()
+
+        sim.process(driver(sim))
+        sim.run(until=10)
+        times = [t for t, _ in trace.series_values("clock")]
+        # Exactly one sample per tick — no duplicated timestamps.
+        assert times == sorted(times)
+        assert len(times) == len(set(times))
+        # First loop covers t=0,1,2; restart resumes at t=2.5,3.5.
+        assert times == [0.0, 1.0, 2.0, 2.5, 3.5]
+
+    def test_start_is_idempotent_while_running(self):
+        sim = Simulator()
+        trace = Trace(sim)
+        sampler = ProgressSampler(sim, trace, interval=1.0)
+        sampler.add_probe("clock", lambda: sim.now)
+        sampler.start()
+        sampler.start()
+
+        def stopper(sim):
+            yield sim.timeout(2.5)
+            sampler.stop()
+
+        sim.process(stopper(sim))
+        sim.run(until=10)
+        times = [t for t, _ in trace.series_values("clock")]
+        assert times == [0.0, 1.0, 2.0]
+
+
+class TestPhaseDurations:
+    @staticmethod
+    def _ev(time, kind, **data):
+        return TraceEvent(time, kind, data)
+
+    def test_sequential_pairs(self):
+        events = [self._ev(1.0, "s"), self._ev(3.0, "e"),
+                  self._ev(5.0, "s"), self._ev(9.0, "e")]
+        assert phase_durations(events, "s", "e") == [2.0, 4.0]
+
+    def test_interleaved_tasks_pair_by_key(self):
+        """Regression: bare zip pairing shifted every duration once two
+        tasks interleaved. Keyed pairing keeps each task's span."""
+        events = [
+            self._ev(0.0, "s", task="a"),
+            self._ev(1.0, "s", task="b"),
+            self._ev(2.0, "e", task="b"),   # b: 1.0
+            self._ev(10.0, "e", task="a"),  # a: 10.0
+        ]
+        assert phase_durations(events, "s", "e", key="task") == [1.0, 10.0]
+        # The old zip behaviour would have reported [2.0, 9.0].
+
+    def test_missing_end_drops_only_that_start(self):
+        events = [
+            self._ev(0.0, "s", task="a"),   # never ends (task died)
+            self._ev(1.0, "s", task="b"),
+            self._ev(4.0, "e", task="b"),
+        ]
+        assert phase_durations(events, "s", "e", key="task") == [3.0]
+
+    def test_strict_raises_on_unmatched_start(self):
+        events = [self._ev(0.0, "s", task="a")]
+        with pytest.raises(ValueError, match="unmatched"):
+            phase_durations(events, "s", "e", key="task", strict=True)
+
+    def test_end_without_start_is_ignored(self):
+        events = [self._ev(2.0, "e", task="a"),
+                  self._ev(3.0, "s", task="a"), self._ev(7.0, "e", task="a")]
+        assert phase_durations(events, "s", "e", key="task") == [4.0]
+
+    def test_unrelated_kinds_are_skipped(self):
+        events = [self._ev(0.0, "s"), self._ev(1.0, "noise"), self._ev(2.0, "e")]
+        assert phase_durations(events, "s", "e") == [2.0]
 
 
 class TestExports:

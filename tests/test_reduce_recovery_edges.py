@@ -1,0 +1,152 @@
+"""Edge cases of ReduceTask recovery state and fetch-failure handling.
+
+Covers two paths the integration suites only graze:
+
+- :meth:`ReduceAttempt._apply_recovery` with partially-missing disk
+  segments — ALG's local shuffle logs are all-or-nothing: if any
+  logged segment is gone the attempt must fall back to a full
+  re-shuffle and reuse *none* of them.
+- :meth:`ReduceAttempt._fetch_round_failed` under SFM's wait
+  directive — no failure accounting, no AM report, and the MOFs are
+  simply re-announced (``notify_mof``) once regenerated.
+"""
+
+import numpy as np
+import pytest
+
+from repro.alm import ALMConfig, ALMPolicy
+from repro.mapreduce.mof import MapOutput
+from repro.mapreduce.reducetask import DiskSegment, ReduceAttempt, ReduceRecoveryState
+from repro.mapreduce.tasks import Task, TaskType
+from repro.sim.core import Timeout
+from repro.yarn.rm import Container
+
+from tests.conftest import make_runtime, tiny_workload
+
+
+def _fresh_attempt(rt, node=None, recovery=None) -> ReduceAttempt:
+    """A reduce attempt bound to a real runtime but never started —
+    lets the tests poke recovery/fetch internals directly."""
+    node = node or rt.workers[0]
+    task = Task(900, TaskType.REDUCE, partition_index=0)
+    container = Container(node, rt.conf.reduce_memory_mb, rt.sim)
+    return ReduceAttempt(rt.am, task, container, recovery=recovery)
+
+
+def _segments(node, sizes=(100.0, 200.0, 300.0)):
+    segs = [DiskSegment(f"seg/test/{i}", size, node) for i, size in enumerate(sizes)]
+    for s in segs:
+        node.write_file(s.path, s.size, kind="spill")
+    return segs
+
+
+class TestApplyRecovery:
+    def test_all_segments_present_are_reused(self):
+        rt = make_runtime(tiny_workload(reducers=2))
+        node = rt.workers[0]
+        segs = _segments(node)
+        rec = ReduceRecoveryState(fetched_map_ids={0, 1, 2}, disk_segments=segs,
+                                  mem_flushed_bytes=50.0)
+        attempt = _fresh_attempt(rt, node)
+        attempt._apply_recovery(rec)
+        assert attempt.disk_segments == segs
+        assert attempt.fetched == {0, 1, 2}
+        assert attempt.shuffled_bytes == pytest.approx(600.0 + 50.0)
+
+    def test_partially_missing_segments_force_full_reshuffle(self):
+        """One deleted spill invalidates the whole logged shuffle state:
+        nothing is reused, the attempt starts the shuffle from zero."""
+        rt = make_runtime(tiny_workload(reducers=2))
+        node = rt.workers[0]
+        segs = _segments(node)
+        node.delete_file(segs[1].path)
+        rec = ReduceRecoveryState(fetched_map_ids={0, 1, 2}, disk_segments=segs,
+                                  mem_flushed_bytes=50.0,
+                                  reduce_resume_fraction=0.4)
+        attempt = _fresh_attempt(rt, node)
+        attempt._apply_recovery(rec)
+        assert attempt.disk_segments == []
+        assert attempt.fetched == set()
+        assert attempt.shuffled_bytes == 0.0
+        # HDFS-backed reduce-stage progress survives independently.
+        assert attempt.reduce_resume_fraction == 0.4
+
+    def test_migrated_attempt_reuses_nothing_local(self):
+        """Segments that live on a different node than the new attempt
+        are node-bound and must not be claimed (paper §III-B)."""
+        rt = make_runtime(tiny_workload(reducers=2))
+        old_node = rt.workers[0]
+        segs = _segments(old_node)
+        rec = ReduceRecoveryState(fetched_map_ids={0, 1, 2}, disk_segments=segs,
+                                  reduce_resume_fraction=0.25)
+        attempt = _fresh_attempt(rt, rt.workers[1])
+        attempt._apply_recovery(rec)
+        assert attempt.disk_segments == []
+        assert attempt.fetched == set()
+        assert attempt.reduce_resume_fraction == 0.25
+
+    def test_empty_segment_list_restores_only_resume_fraction(self):
+        rt = make_runtime(tiny_workload(reducers=2))
+        rec = ReduceRecoveryState(reduce_resume_fraction=0.6)
+        attempt = _fresh_attempt(rt)
+        attempt._apply_recovery(rec)
+        assert attempt.disk_segments == []
+        assert attempt.fetched == set()
+        assert attempt.reduce_resume_fraction == 0.6
+
+
+class TestFetchRoundFailed:
+    def _mof(self, host, map_id=0, attempt="map-0.0"):
+        return MapOutput(map_id=map_id, attempt_id=attempt, node=host,
+                         partition_sizes=np.array([50.0, 50.0]))
+
+    def test_wait_policy_skips_failure_accounting(self):
+        """SFM's wait directive: the round vanishes quietly — no
+        failure counters, no fetch-failure report, no host penalty."""
+        pol = ALMPolicy(ALMConfig(enable_alg=False, enable_sfm=True))
+        rt = make_runtime(tiny_workload(reducers=2), policy=pol)
+        attempt = _fresh_attempt(rt)
+        host = rt.workers[1]
+        attempt.notify_mof(self._mof(host))
+        pol.regenerating.add(host.node_id)  # the AM knows the node died
+
+        batch = dict(attempt.host_pending[host.node_id])
+        steps = list(attempt._fetch_round_failed(host, host.node_id, batch))
+
+        assert steps == []  # generator finished without a penalty sleep
+        assert attempt.total_failures == 0
+        assert attempt.unique_failed == set()
+        assert attempt.host_pending[host.node_id] == {}
+        assert rt.trace.of_kind("fetch_failure_report") == []
+
+    def test_wait_then_notify_mof_readds_at_new_home(self):
+        pol = ALMPolicy(ALMConfig(enable_alg=False, enable_sfm=True))
+        rt = make_runtime(tiny_workload(reducers=2), policy=pol)
+        attempt = _fresh_attempt(rt)
+        dead_host, new_home = rt.workers[1], rt.workers[2]
+        attempt.notify_mof(self._mof(dead_host))
+        pol.regenerating.add(dead_host.node_id)
+        batch = dict(attempt.host_pending[dead_host.node_id])
+        list(attempt._fetch_round_failed(dead_host, dead_host.node_id, batch))
+
+        attempt.notify_mof(self._mof(new_home, attempt="map-0.1"))
+        assert 0 in attempt.host_pending[new_home.node_id]
+        assert attempt.total_failures == 0
+
+    def test_report_policy_accounts_and_penalises(self):
+        """Stock YARN contrast: the same round under the default policy
+        counts failures, reports to the AM and sleeps out the host
+        penalty before revisiting."""
+        rt = make_runtime(tiny_workload(reducers=2))  # YarnRecoveryPolicy
+        attempt = _fresh_attempt(rt)
+        host = rt.workers[1]
+        attempt.notify_mof(self._mof(host))
+        batch = dict(attempt.host_pending[host.node_id])
+
+        gen = attempt._fetch_round_failed(host, host.node_id, batch)
+        penalty = next(gen)
+        assert isinstance(penalty, Timeout)
+        assert penalty.delay == rt.conf.host_failure_penalty
+        assert attempt.total_failures == len(batch)
+        assert attempt.unique_failed == set(batch)
+        assert rt.trace.count("fetch_failure_report") == len(batch)

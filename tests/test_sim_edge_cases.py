@@ -185,6 +185,41 @@ class TestConditionEdgeCases:
         sim.run()
         assert caught == ["early"]
 
+    def test_empty_all_of_is_vacuously_satisfied(self, sim):
+        """AllOf([]) — "wait for all of nothing" — completes immediately
+        with an empty value list."""
+        got = []
+
+        def waiter(sim):
+            got.append((yield sim.all_of([])))
+
+        sim.process(waiter(sim))
+        sim.run()
+        assert got == [[]]
+        assert sim.now == 0.0
+
+    def test_empty_any_of_raises(self, sim):
+        """Regression: AnyOf([]) used to succeed immediately with [],
+        silently masking callers that built an empty child list by
+        mistake — none of zero events can ever trigger."""
+        with pytest.raises(SimulationError, match="empty AnyOf"):
+            sim.any_of([])
+        with pytest.raises(SimulationError, match="empty AnyOf"):
+            AnyOf(sim, [])
+
+    def test_empty_any_of_inside_process_fails_the_process(self, sim):
+        caught = []
+
+        def waiter(sim):
+            try:
+                yield sim.any_of([ev for ev in ()])
+            except SimulationError as exc:
+                caught.append(str(exc))
+
+        sim.process(waiter(sim))
+        sim.run()
+        assert caught and "AnyOf" in caught[0]
+
 
 class TestSchedulerDeterminism:
     def test_fifo_among_simultaneous_events(self, sim):
