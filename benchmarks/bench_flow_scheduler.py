@@ -1,0 +1,157 @@
+"""Flow-scheduler hot-path throughput: incremental coalescing vs the
+eager full-recompute reference (the seed implementation).
+
+The scenario is the simulator's worst case — a shuffle wave: every
+reachable node fetches from ``FANIN`` peers at one instant (~4n
+concurrent flows on an n-node cluster), sizes staggered so completions
+arrive as a long stream of individual rate-change events, plus one
+mid-wave node death (the failure-amplification path the paper studies).
+The same scenario runs under both schedulers; wave-end and final
+simulated times must match exactly — the speedup is only admissible
+because the allocations are bit-identical.
+
+Throughput is reported as *model events per wall second* (flow
+admissions + completions + cancellations — a scheduler-independent
+count of the work the scenario demands), alongside event-heap pushes,
+which show the stale-timer traffic the cancellable timer eliminates.
+
+Numbers land in ``BENCH_flows.json`` at the repo root; the acceptance
+bar is >=5x events/sec on the 128-node wave. ``--smoke`` (script mode,
+used by CI) runs the 8-node scenario under both schedulers and asserts
+exact agreement without touching the JSON.
+"""
+
+import argparse
+import json
+import os
+import sys
+import time
+from pathlib import Path
+
+from repro.cluster import Cluster, ClusterSpec
+from repro.cluster.node import MB
+from repro.sim.core import Simulator
+
+NODE_COUNTS = [8, 32, 128]
+FANIN = 4
+
+
+def _driver(sim: Simulator, cluster: Cluster, waves: int, kill_wave: int,
+            wave_ends: list):
+    for w in range(waves):
+        reachable = cluster.reachable_nodes()
+        n = len(reachable)
+        flows = []
+        with cluster.flows.batch():
+            for i, dst in enumerate(reachable):
+                for k in range(1, FANIN + 1):
+                    src = reachable[(i + k) % n]
+                    if src is dst:
+                        continue
+                    size = MB * (32 + 16 * ((i * 7 + k * 13 + w * 3) % 8))
+                    flows.append(cluster.net_transfer(
+                        src, dst, size, name=f"wave{w}:{i}.{k}"))
+        if w == kill_wave:
+            yield sim.timeout(0.05)
+            victim = reachable[n // 2]
+            cluster.stop_network(victim)
+            flows = [f for f in flows if not f.done.triggered or f.done.ok]
+        yield sim.all_of([f.done for f in flows])
+        wave_ends.append(sim.now)
+    return sim.now
+
+
+def run_scenario(scheduler: str, nodes: int, waves: int) -> dict:
+    """One full shuffle-wave scenario under the named scheduler."""
+    previous = os.environ.get("REPRO_SCHEDULER")
+    os.environ["REPRO_SCHEDULER"] = scheduler
+    try:
+        sim = Simulator()
+        cluster = Cluster(sim, ClusterSpec(num_nodes=nodes, num_racks=2, seed=7))
+        wave_ends: list = []
+        t0 = time.perf_counter()
+        done = sim.process(_driver(sim, cluster, waves, kill_wave=waves // 2,
+                                   wave_ends=wave_ends))
+        sim.run(done)
+        wall = time.perf_counter() - t0
+    finally:
+        if previous is None:
+            os.environ.pop("REPRO_SCHEDULER", None)
+        else:
+            os.environ["REPRO_SCHEDULER"] = previous
+    stats = dict(cluster.flows.stats)
+    model_events = stats["transfers"] + stats["completions"] + stats["cancels"]
+    return {
+        "finish_time": sim.now,
+        "wave_ends": wave_ends,
+        "wall_seconds": wall,
+        "model_events": model_events,
+        "events_per_sec": model_events / max(wall, 1e-9),
+        "heap_pushes": sim._seq,
+        "stats": stats,
+    }
+
+
+def compare_schedulers(nodes: int, waves: int) -> dict:
+    ref = run_scenario("reference", nodes, waves)
+    inc = run_scenario("incremental", nodes, waves)
+    # Exact (==) agreement: same simulated end time, same wave-end
+    # times, same event counts. No tolerance — the incremental
+    # scheduler is only a valid optimisation if it is bit-identical.
+    assert inc["finish_time"] == ref["finish_time"], (nodes, ref, inc)
+    assert inc["wave_ends"] == ref["wave_ends"], (nodes, ref, inc)
+    assert inc["model_events"] == ref["model_events"], (nodes, ref, inc)
+    return {
+        "nodes": nodes,
+        "waves": waves,
+        "flows": ref["stats"]["transfers"],
+        "identical_completion_times": True,
+        "reference": {k: (round(v, 4) if isinstance(v, float) else v)
+                      for k, v in ref.items() if k != "wave_ends"},
+        "incremental": {k: (round(v, 4) if isinstance(v, float) else v)
+                        for k, v in inc.items() if k != "wave_ends"},
+        "events_per_sec_speedup": round(
+            inc["events_per_sec"] / max(ref["events_per_sec"], 1e-9), 2),
+        "heap_push_reduction": round(
+            ref["heap_pushes"] / max(inc["heap_pushes"], 1), 2),
+    }
+
+
+def test_flow_scheduler_throughput(report):
+    rows = []
+    for nodes in NODE_COUNTS:
+        waves = 4 if nodes <= 32 else 2
+        rows.append(compare_schedulers(nodes, waves))
+
+    payload = {"fanin": FANIN, "sweep": rows}
+    out = Path(__file__).resolve().parents[1] / "BENCH_flows.json"
+    out.write_text(json.dumps(payload, indent=2) + "\n")
+
+    report("Flow scheduler — incremental/coalesced vs eager reference",
+           json.dumps(payload, indent=2))
+
+    # Acceptance: >=5x model-events/sec on the 128-node shuffle wave.
+    big = rows[-1]
+    assert big["nodes"] == 128
+    assert big["events_per_sec_speedup"] >= 5.0, big
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="8-node equivalence check only (CI); "
+                             "no BENCH_flows.json update")
+    args = parser.parse_args(argv)
+    if args.smoke:
+        row = compare_schedulers(nodes=8, waves=3)
+        print(f"smoke ok: {row['flows']} flows, completion times identical, "
+              f"events/sec speedup {row['events_per_sec_speedup']}x")
+        return 0
+    for nodes in NODE_COUNTS:
+        row = compare_schedulers(nodes, 4 if nodes <= 32 else 2)
+        print(json.dumps(row, indent=2))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

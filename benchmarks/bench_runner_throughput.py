@@ -21,7 +21,7 @@ import time
 from pathlib import Path
 
 from repro.experiments.common import ExperimentConfig, run_benchmark_trial
-from repro.runner import TrialRunner
+from repro.runner import TrialRunner, shutdown_pools
 from repro.workloads import terasort
 
 SEEDS = [2015 + 101 * k for k in range(6)]
@@ -45,13 +45,18 @@ def test_runner_throughput(report, tmp_path):
     jobs = max(2, int(os.environ.get("REPRO_JOBS", "4") or 4))
 
     serial_s, serial_res = _timed_run(jobs=1)
+    shutdown_pools()  # first parallel run pays the full pool spawn cost
     parallel_s, parallel_res = _timed_run(jobs=jobs)
+    # Second fan-out reuses the cached worker pool: this is the
+    # per-sweep-step cost an experiment driver actually pays.
+    parallel_warm_s, parallel_warm_res = _timed_run(jobs=jobs)
 
     # Determinism: the parallel fan-out reproduces the serial digests
     # bit-for-bit, seed by seed.
     serial_digests = [r.payload["digest"] for r in serial_res]
     parallel_digests = [r.payload["digest"] for r in parallel_res]
     assert serial_digests == parallel_digests
+    assert [r.payload["digest"] for r in parallel_warm_res] == serial_digests
 
     cache_dir = tmp_path / "trials"
     cold_s, cold_res = _timed_run(jobs=1, cache_dir=cache_dir)
@@ -71,7 +76,9 @@ def test_runner_throughput(report, tmp_path):
         "jobs": jobs,
         "serial_seconds": round(serial_s, 3),
         "parallel_seconds": round(parallel_s, 3),
+        "parallel_warm_seconds": round(parallel_warm_s, 3),
         "parallel_speedup": round(parallel_speedup, 2),
+        "pool_reuse_speedup": round(parallel_s / max(parallel_warm_s, 1e-9), 2),
         "cache_cold_seconds": round(cold_s, 3),
         "cache_warm_seconds": round(warm_s, 3),
         "cache_speedup": round(cache_speedup, 2),

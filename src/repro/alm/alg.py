@@ -207,16 +207,19 @@ class AnalyticsLogger:
         # persist the MPQ-offset record — locally and at one replica.
         waits = []
         if cfg.record_bytes > 0:
-            waits.append(cluster.disk_write(node, cfg.record_bytes,
-                                            name=f"alg-hrec:{attempt.attempt_id}").done)
-            if cfg.level is not ReplicationLevel.NODE:
-                target = self._replica_target(attempt, cfg.level)
-                if target is not None:
-                    waits.append(cluster.net_transfer(
-                        node, target, cfg.record_bytes,
-                        name=f"alg-rec-repl:{attempt.attempt_id}",
-                        read_src_disk=False, write_dst_disk=True,
-                    ).done)
+            # The local hflush and its replica copy start together:
+            # batch them into one scheduler update.
+            with cluster.flows.batch():
+                waits.append(cluster.disk_write(node, cfg.record_bytes,
+                                                name=f"alg-hrec:{attempt.attempt_id}").done)
+                if cfg.level is not ReplicationLevel.NODE:
+                    target = self._replica_target(attempt, cfg.level)
+                    if target is not None:
+                        waits.append(cluster.net_transfer(
+                            node, target, cfg.record_bytes,
+                            name=f"alg-rec-repl:{attempt.attempt_id}",
+                            read_src_disk=False, write_dst_disk=True,
+                        ).done)
         for w in waits:
             yield w
         self.store.put(LogRecord(

@@ -104,26 +104,30 @@ class FCMReduceAttempt(ReduceAttempt):
         # disk read is NOT chained into the network flow, which is what
         # keeps many concurrent FCM recoveries from interlocking all
         # devices into one max-min bottleneck.
-        for node_id, size in by_node.items():
-            size *= work_frac
-            if size <= 0:
-                continue
-            src = self.cluster.node(node_id)
-            try:
-                fl_load = self._flow(self.cluster.disk_read(
-                    src, size, name=f"fcm-load:{self.attempt_id}@{src.name}"))
-                fl_net = self._flow(self.cluster.net_transfer(
-                    src, self.node, size,
-                    name=f"fcm:{self.attempt_id}<-{src.name}",
-                    read_src_disk=False, write_dst_disk=False,
-                ))
-            except Exception as exc:
-                raise TaskFailed("fcm-participant-unreachable") from exc
-            waits.append(fl_load.done)
-            waits.append(fl_net.done)
-            # Participant-side pre-merge CPU overlaps its own streaming;
-            # charge it as a parallel timeout rather than serialising.
-            waits.append(self.cluster.compute(src, wl.merge_cpu_per_mb * size / MB))
+        # All participants start streaming at this same instant: batch
+        # the whole fan-out so the 2·participants flow admissions share
+        # one progress advance and one deferred rate recompute.
+        with self.cluster.flows.batch():
+            for node_id, size in by_node.items():
+                size *= work_frac
+                if size <= 0:
+                    continue
+                src = self.cluster.node(node_id)
+                try:
+                    fl_load = self._flow(self.cluster.disk_read(
+                        src, size, name=f"fcm-load:{self.attempt_id}@{src.name}"))
+                    fl_net = self._flow(self.cluster.net_transfer(
+                        src, self.node, size,
+                        name=f"fcm:{self.attempt_id}<-{src.name}",
+                        read_src_disk=False, write_dst_disk=False,
+                    ))
+                except Exception as exc:
+                    raise TaskFailed("fcm-participant-unreachable") from exc
+                waits.append(fl_load.done)
+                waits.append(fl_net.done)
+                # Participant-side pre-merge CPU overlaps its own streaming;
+                # charge it as a parallel timeout rather than serialising.
+                waits.append(self.cluster.compute(src, wl.merge_cpu_per_mb * size / MB))
 
         # Recoverer: reduce CPU + HDFS output, overlapped with the
         # incoming streams (the Global-MPQ pipeline).

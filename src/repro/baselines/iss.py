@@ -59,6 +59,9 @@ class ISSPolicy(YarnRecoveryPolicy):
 
     # -- replication on map completion ----------------------------------------
     def on_map_completed(self, task: Task, mof: MapOutput) -> None:
+        # One copier process per target; they all admit their flow at
+        # this same instant, so the scheduler coalesces the fan-out into
+        # a single rate recompute without explicit batching here.
         am = self.am
         targets = self._pick_targets(mof.node)
         for target in targets:

@@ -32,7 +32,6 @@ from repro.cluster import ClusterSpec
 from repro.experiments import format_table
 from repro.experiments.common import make_policy
 from repro.faults import (
-    NodeFault,
     SlowNodeFault,
     TaskFault,
     kill_maps_at_time,
@@ -111,6 +110,11 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="print progress curve, gantt and failure timeline")
     p_run.add_argument("--export", metavar="PATH", default=None,
                        help="write the full trace as JSON")
+    p_run.add_argument("--profile", metavar="SPEC", nargs="?", const="1",
+                       default=None,
+                       help="profile the run (sets REPRO_PROFILE): cProfile "
+                            "summary plus per-subsystem event counts; pass a "
+                            "path prefix to also dump raw pstats")
 
     p_exp = sub.add_parser("experiment", help="regenerate a paper figure/table")
     p_exp.add_argument("name", choices=_EXPERIMENTS)
@@ -122,12 +126,22 @@ def _build_parser() -> argparse.ArgumentParser:
     p_exp.add_argument("--trial-cache", metavar="DIR", default=None,
                        help="memoize completed trials under DIR "
                             "(sets REPRO_TRIAL_CACHE)")
+    p_exp.add_argument("--profile", metavar="SPEC", nargs="?", const="1",
+                       default=None,
+                       help="profile the experiment driver (sets REPRO_PROFILE; "
+                            "reaches worker processes too)")
 
     sub.add_parser("list", help="show workloads, policies and experiments")
     return parser
 
 
 def cmd_run(args) -> int:
+    import os
+
+    from repro.runner.profile import maybe_profile, profiling_enabled, subsystem_counts
+
+    if args.profile is not None:
+        os.environ["REPRO_PROFILE"] = args.profile
     factory = BENCHMARKS[args.workload]
     wl = factory() if args.size_gb is None else factory(args.size_gb)
     if args.reducers is not None:
@@ -149,11 +163,19 @@ def cmd_run(args) -> int:
     )
     for fault in args.fault:
         fault.install(rt)
-    result = rt.run()
+    with maybe_profile(f"run-{wl.name}-{args.policy}"):
+        result = rt.run()
     status = "SUCCESS" if result.success else "FAILED"
     print(f"{result.job_name}: {status} in {result.elapsed:.1f} simulated seconds")
     for key, value in result.counters.items():
         print(f"  {key:28s} {value}")
+    if profiling_enabled():
+        print("\nper-subsystem trace events:")
+        for subsystem, count in subsystem_counts(result.trace).items():
+            print(f"  {subsystem:12s} {count}")
+        print("flow scheduler:")
+        for key, value in sorted(rt.cluster.flows.stats.items()):
+            print(f"  {key:16s} {value}")
     if args.report:
         print()
         print(progress_curve(result.trace))
@@ -170,14 +192,23 @@ def cmd_run(args) -> int:
 def cmd_experiment(args) -> int:
     import os
 
-    import repro.experiments as ex
-
     # The runner reads its parallelism/cache settings from the
     # environment so every driver picks them up without plumbing.
     if args.jobs is not None:
         os.environ["REPRO_JOBS"] = str(max(1, args.jobs))
     if args.trial_cache is not None:
         os.environ["REPRO_TRIAL_CACHE"] = args.trial_cache
+    if args.profile is not None:
+        os.environ["REPRO_PROFILE"] = args.profile
+
+    from repro.runner.profile import maybe_profile
+
+    with maybe_profile(f"experiment-{args.name}"):
+        return _dispatch_experiment(args)
+
+
+def _dispatch_experiment(args) -> int:
+    import repro.experiments as ex
 
     scale = args.scale
     name = args.name

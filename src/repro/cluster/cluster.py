@@ -16,7 +16,9 @@ remote peers experience a dead machine: their transfers abort with
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
+from typing import Iterable
 
 import numpy as np
 
@@ -24,7 +26,22 @@ from repro.cluster.node import GB, MB, Node, NodeSpec, Rack
 from repro.sim.core import Event, SimulationError, Simulator
 from repro.sim.flows import Flow, FlowScheduler, LinkResource
 
-__all__ = ["Cluster", "ClusterSpec"]
+__all__ = ["Cluster", "ClusterSpec", "flow_scheduler_class"]
+
+
+def flow_scheduler_class():
+    """The flow scheduler implementation to use, selected by the
+    ``REPRO_SCHEDULER`` environment variable: the default incremental
+    coalescing scheduler, or ``reference`` for the eager full-recompute
+    seed implementation (equivalence tests, before/after benchmarks)."""
+    choice = os.environ.get("REPRO_SCHEDULER", "").strip().lower()
+    if choice in ("reference", "eager"):
+        from repro.sim.flows_reference import ReferenceFlowScheduler
+
+        return ReferenceFlowScheduler
+    if choice in ("", "incremental"):
+        return FlowScheduler
+    raise SimulationError(f"unknown REPRO_SCHEDULER {choice!r}")
 
 
 @dataclass(frozen=True)
@@ -59,7 +76,7 @@ class Cluster:
     def __init__(self, sim: Simulator, spec: ClusterSpec | None = None) -> None:
         self.sim = sim
         self.spec = spec or ClusterSpec()
-        self.flows = FlowScheduler(sim)
+        self.flows = flow_scheduler_class()(sim)
         self.rng = np.random.default_rng(self.spec.seed)
         self.core_link = LinkResource("core-switch", self.spec.core_bandwidth)
         self.racks = [Rack(i) for i in range(self.spec.num_racks)]
@@ -134,6 +151,14 @@ class Cluster:
             res.append(dst.disk)
         return self.flows.transfer(size, res, f"{name}:{src.name}->{dst.name}")
 
+    def net_transfer_many(self, requests: Iterable[dict]) -> list[Flow]:
+        """Start several :meth:`net_transfer` calls as one batch (e.g.
+        an HDFS pipeline or a recovery fan-out): each request is a dict
+        of ``net_transfer`` keyword arguments. The whole batch shares a
+        single progress advance and one deferred rate recompute."""
+        with self.flows.batch():
+            return [self.net_transfer(**req) for req in requests]
+
     def compute(self, node: Node, seconds: float) -> Event:
         """CPU work: containers own their cores, so compute is a plain
         delay (no contention modelling)."""
@@ -165,10 +190,14 @@ class Cluster:
         self._notify(node)
 
     def _sever(self, node: Node, reason: str, include_disk: bool = True) -> None:
-        self.flows.cancel_flows_using(node.nic_in, reason)
-        self.flows.cancel_flows_using(node.nic_out, reason)
+        # One batched sweep over all of the victim's device directions:
+        # every flow touching the node is cancelled with a single
+        # progress advance and one deferred rate recompute, instead of
+        # the seed's three per-victim cancel sweeps.
+        resources = [node.nic_in, node.nic_out]
         if include_disk:
-            self.flows.cancel_flows_using(node.disk, reason)
+            resources.append(node.disk)
+        self.flows.cancel_flows_using(resources, reason)
 
     def _notify(self, node: Node) -> None:
         for fn in list(self.failure_listeners):

@@ -12,7 +12,6 @@ from dataclasses import dataclass
 from repro.experiments.common import (
     ExperimentConfig,
     averaged_job_time,
-    run_benchmark_job,
     scale_from_env,
 )
 from repro.faults import kill_reduce_at_progress

@@ -235,35 +235,38 @@ class Hdfs:
             bsize = min(self.config.block_size, remaining)
             block = self._new_block(path, bsize)
             targets = self._choose_replicas(writer, repl, lvl)
-            flows = []
-            if targets[0] is writer:
-                flows.append(self.cluster.disk_write(writer, bsize,
-                                                     name=f"hdfs-w{block.block_id}"))
-            else:
-                # Writer is not a datanode (or not usable): stream the
-                # block to the first replica over the network.
-                flows.append(self.cluster.net_transfer(
-                    writer, targets[0], bsize, name=f"hdfs-w{block.block_id}",
-                    read_src_disk=False, write_dst_disk=True))
-            prev = targets[0]
-            for nd in targets[1:]:
-                flows.append(
-                    self.cluster.net_transfer(
-                        prev, nd, bsize,
-                        name=f"hdfs-pipe{block.block_id}",
-                        read_src_disk=False,
-                        write_dst_disk=True,
+            # The whole replication pipeline starts at one instant, so
+            # open it as a single batch: one progress advance and one
+            # deferred rate recompute for all pipeline stages.
+            with self.cluster.flows.batch():
+                flows = []
+                if targets[0] is writer:
+                    flows.append(self.cluster.disk_write(writer, bsize,
+                                                         name=f"hdfs-w{block.block_id}"))
+                else:
+                    # Writer is not a datanode (or not usable): stream the
+                    # block to the first replica over the network.
+                    flows.append(self.cluster.net_transfer(
+                        writer, targets[0], bsize, name=f"hdfs-w{block.block_id}",
+                        read_src_disk=False, write_dst_disk=True))
+                prev = targets[0]
+                for nd in targets[1:]:
+                    flows.append(
+                        self.cluster.net_transfer(
+                            prev, nd, bsize,
+                            name=f"hdfs-pipe{block.block_id}",
+                            read_src_disk=False,
+                            write_dst_disk=True,
+                        )
                     )
-                )
-                prev = nd
+                    prev = nd
             try:
                 yield self.sim.all_of([fl.done for fl in flows])
             except FlowCancelled as exc:
                 # A pipeline node died; real HDFS rebuilds the pipeline with
                 # the survivors. Retry the block with a fresh replica set.
-                for fl in flows:
-                    if fl._active:
-                        self.cluster.flows.cancel(fl, "pipeline rebuild")
+                self.cluster.flows.cancel_many(
+                    [fl for fl in flows if fl.active], "pipeline rebuild")
                 if not writer.alive:
                     raise HdfsError(f"writer died during write of {path}") from exc
                 continue

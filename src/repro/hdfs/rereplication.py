@@ -86,7 +86,10 @@ class ReReplicationDaemon:
                     continue
                 self._in_flight += 1
                 # Optimistically count the pending replica so the next
-                # scan doesn't double-schedule this block.
+                # scan doesn't double-schedule this block. All copies
+                # scheduled in this scan tick start their flows at the
+                # same instant, which the scheduler coalesces into one
+                # rate recompute.
                 block.replicas.append(target)
                 self.sim.process(self._copy(block, target),
                                  name=f"rerepl:blk{block.block_id}")

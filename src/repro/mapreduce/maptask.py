@@ -61,6 +61,9 @@ class MapAttempt(TaskAttempt):
         candidates = self.am.hdfs._ordered_replicas(self.node, block)
         if not candidates:
             raise TaskFailed("input-block-lost")
+        # Map attempts are strictly sequential (read, compute, write);
+        # each step is a single flow admission, so they ride on the
+        # scheduler's same-instant coalescing with no explicit batching.
         read_ok = False
         for src in candidates:
             try:

@@ -12,7 +12,6 @@ through the shared nodes, disks and network.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any
 
 from repro.cluster import Cluster, ClusterSpec
 from repro.hdfs.hdfs import Hdfs, HdfsConfig

@@ -24,7 +24,7 @@ from dataclasses import dataclass, field
 
 from repro.cluster.node import MB, Node
 from repro.mapreduce.mof import MapOutput
-from repro.mapreduce.tasks import Task, TaskAttempt, TaskFailed
+from repro.mapreduce.tasks import Task, TaskAttempt
 from repro.sim.core import Interrupt, SimulationError
 from repro.sim.flows import FlowCancelled
 from repro.sim.resources import Store
@@ -425,6 +425,10 @@ class ReduceAttempt(TaskAttempt):
             pass
         out_bytes = total_in * wl.reduce_selectivity * work_frac
 
+        # The input read, reduce CPU and output pipeline all start at
+        # this instant; the flow scheduler coalesces the same-timestamp
+        # admissions into a single deferred rate recompute, so there is
+        # no need to batch() these sequential starts explicitly.
         waits = []
         if read_bytes > 0:
             self._reduce_flow = self._flow(self.cluster.disk_read(

@@ -211,10 +211,11 @@ class TaskAttempt:
             if child.is_alive:
                 child.interrupt("attempt ended")
         self._children.clear()
-        for fl in self._flows:
-            if fl._active:
-                fl.done.defuse()
-                self.cluster.flows.cancel(fl, f"{self.attempt_id} ended")
+        # One batched cancel for everything the attempt still has in
+        # flight (shuffle fetches, merge writes): a single progress
+        # advance and one deferred rate recompute.
+        self.cluster.flows.cancel_many(
+            [fl for fl in self._flows if fl.active], f"{self.attempt_id} ended")
         self._flows.clear()
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid

@@ -6,6 +6,7 @@ from repro.runner.runner import (
     TrialResult,
     TrialRunner,
     jobs_from_env,
+    shutdown_pools,
     spec_digest,
     trace_digest,
 )
@@ -15,6 +16,7 @@ __all__ = [
     "TrialResult",
     "TrialRunner",
     "jobs_from_env",
+    "shutdown_pools",
     "spec_digest",
     "trace_digest",
 ]

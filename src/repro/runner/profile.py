@@ -1,0 +1,92 @@
+"""Opt-in profiling for simulation runs (``REPRO_PROFILE``).
+
+Profiling is wired through the environment, like the runner's other
+knobs, so it reaches trials running inside worker processes without
+any argument plumbing:
+
+- ``REPRO_PROFILE=1``: wrap the run in :mod:`cProfile` and print the
+  top functions by cumulative time to stderr.
+- ``REPRO_PROFILE=/path/prefix``: additionally dump raw pstats to
+  ``/path/prefix-<tag>.pstats`` for ``snakeviz``/``pstats`` analysis.
+
+:func:`subsystem_counts` complements the function-level view with the
+simulation's own accounting: per-kind event counts from
+:meth:`~repro.metrics.trace.Trace.summary`, grouped by subsystem, plus
+the flow scheduler's recompute counters — the numbers that say *which*
+layer of the model the time went into.
+"""
+
+from __future__ import annotations
+
+import cProfile
+import io
+import os
+import pstats
+import sys
+from contextlib import contextmanager
+from typing import TYPE_CHECKING, Iterator
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.metrics.trace import Trace
+
+__all__ = ["maybe_profile", "profiling_enabled", "subsystem_counts"]
+
+#: Trace-event kind prefix -> subsystem label for the profile report.
+_SUBSYSTEMS = {
+    "flow": "flows",
+    "hdfs": "hdfs",
+    "attempt": "mapreduce",
+    "map": "mapreduce",
+    "reduce": "mapreduce",
+    "task": "mapreduce",
+    "job": "mapreduce",
+    "shuffle": "mapreduce",
+    "fetch": "mapreduce",
+    "speculative": "mapreduce",
+    "alg": "alm",
+    "sfm": "alm",
+    "fcm": "alm",
+    "iss": "baselines",
+    "node": "cluster",
+    "fault": "cluster",
+    "container": "yarn",
+    "rm": "yarn",
+    "am": "yarn",
+}
+
+
+def profiling_enabled() -> bool:
+    return os.environ.get("REPRO_PROFILE", "") not in ("", "0")
+
+
+@contextmanager
+def maybe_profile(tag: str) -> Iterator[None]:
+    """Profile the enclosed block when ``REPRO_PROFILE`` is set;
+    otherwise a zero-cost no-op."""
+    raw = os.environ.get("REPRO_PROFILE", "")
+    if raw in ("", "0"):
+        yield
+        return
+    prof = cProfile.Profile()
+    prof.enable()
+    try:
+        yield
+    finally:
+        prof.disable()
+        if raw != "1":
+            prof.dump_stats(f"{raw}-{tag}.pstats")
+        buf = io.StringIO()
+        stats = pstats.Stats(prof, stream=buf)
+        stats.sort_stats("cumulative").print_stats(15)
+        print(f"--- profile [{tag}] ---", file=sys.stderr)
+        print(buf.getvalue(), file=sys.stderr)
+
+
+def subsystem_counts(trace: "Trace") -> dict[str, int]:
+    """Trace-event counts grouped by subsystem (kind prefix)."""
+    out: dict[str, int] = {}
+    for kind, count in trace.summary()["kinds"].items():
+        prefix = kind.split("_", 1)[0].split(".", 1)[0]
+        label = _SUBSYSTEMS.get(prefix, "other")
+        out[label] = out.get(label, 0) + count
+    return dict(sorted(out.items()))

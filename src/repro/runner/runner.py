@@ -23,12 +23,14 @@ place that knows how to execute them fast and honestly:
 
 from __future__ import annotations
 
+import atexit
 import hashlib
 import json
 import os
 import pickle
 import time
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import TYPE_CHECKING, Any, Callable, Sequence
@@ -41,6 +43,7 @@ __all__ = [
     "TrialResult",
     "TrialRunner",
     "jobs_from_env",
+    "shutdown_pools",
     "spec_digest",
     "trace_digest",
 ]
@@ -121,6 +124,40 @@ def _invoke_trial(fn: Callable, seed: int, kwargs: dict[str, Any]) -> tuple[dict
     if not isinstance(payload, dict):
         payload = {"value": payload}
     return payload, time.perf_counter() - t0
+
+
+# -- persistent worker pools -------------------------------------------------
+#
+# Experiment drivers call ``TrialRunner.run`` once per figure point, so
+# a pool-per-call design pays worker spawn + interpreter warm-up on
+# every sweep step. Pools are instead cached per worker count for the
+# lifetime of the driver process and torn down once at exit.
+_POOLS: dict[int, ProcessPoolExecutor] = {}
+
+
+def _get_pool(workers: int) -> ProcessPoolExecutor:
+    pool = _POOLS.get(workers)
+    if pool is None:
+        pool = ProcessPoolExecutor(max_workers=workers)
+        _POOLS[workers] = pool
+    return pool
+
+
+def _discard_pool(workers: int) -> None:
+    pool = _POOLS.pop(workers, None)
+    if pool is not None:
+        pool.shutdown(wait=False, cancel_futures=True)
+
+
+def shutdown_pools() -> None:
+    """Tear down every cached worker pool (idempotent; also runs at
+    interpreter exit). Call between benchmark phases when a clean slate
+    matters more than warm workers."""
+    for workers in list(_POOLS):
+        _discard_pool(workers)
+
+
+atexit.register(shutdown_pools)
 
 
 def _spec_picklable(fn: Callable, kwargs: dict[str, Any]) -> bool:
@@ -211,14 +248,24 @@ class TrialRunner:
     def _run_parallel(self, experiment: str, fn: Callable, seeds: list[int],
                       kwargs: dict[str, Any]) -> dict[int, TrialResult]:
         workers = min(self.jobs, len(seeds))
+        try:
+            return self._submit_all(experiment, fn, seeds, kwargs, workers)
+        except BrokenProcessPool:
+            # A worker died (OOM kill, crash): drop the poisoned pool
+            # and retry once on a fresh one before giving up.
+            _discard_pool(workers)
+            return self._submit_all(experiment, fn, seeds, kwargs, workers)
+
+    def _submit_all(self, experiment: str, fn: Callable, seeds: list[int],
+                    kwargs: dict[str, Any], workers: int) -> dict[int, TrialResult]:
+        pool = _get_pool(workers)
         out: dict[int, TrialResult] = {}
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            futures = {
-                seed: pool.submit(_invoke_trial, fn, seed, kwargs) for seed in seeds
-            }
-            for seed, future in futures.items():
-                payload, wall = future.result()
-                out[seed] = TrialResult(experiment, seed, payload, wall_seconds=wall)
+        futures = {
+            seed: pool.submit(_invoke_trial, fn, seed, kwargs) for seed in seeds
+        }
+        for seed, future in futures.items():
+            payload, wall = future.result()
+            out[seed] = TrialResult(experiment, seed, payload, wall_seconds=wall)
         return out
 
     def _verify_first(self, experiment: str, fn: Callable,

@@ -149,18 +149,44 @@ class Event:
 
 
 class Timeout(Event):
-    """An event that triggers ``delay`` time units after creation."""
+    """An event that triggers ``delay`` time units after creation.
 
-    __slots__ = ("delay",)
+    A pending timeout can be :meth:`cancel`\\ led; the heap entry stays
+    (binary heaps cannot delete arbitrary entries) but is discarded
+    without running callbacks when popped. This is what lets the flow
+    scheduler keep exactly one live completion timer instead of
+    accumulating thousands of version-dead entries.
+    """
+
+    __slots__ = ("delay", "_cancelled")
 
     def __init__(self, sim: "Simulator", delay: float, value: Any = None) -> None:
         if delay < 0:
             raise SimulationError(f"negative timeout delay: {delay}")
         super().__init__(sim)
         self.delay = delay
+        self._cancelled = False
         self._triggered = True
         self._value = value
         sim._schedule(self, NORMAL, delay)
+
+    @property
+    def cancelled(self) -> bool:
+        return self._cancelled
+
+    def cancel(self) -> None:
+        """Deactivate the timeout: callbacks will never run.
+
+        Cancelling an already-processed timeout is a no-op.
+        """
+        self._cancelled = True
+
+    def _process(self) -> None:
+        if self._cancelled:
+            self.callbacks = None
+            self._processed = True
+            return
+        super()._process()
 
 
 class Initialize(Event):

@@ -6,23 +6,45 @@ Data movement in the cluster model is a *fluid* approximation: a
 destination NIC ingress, ...). At any instant every active flow
 receives its **max-min fair** rate, computed by progressive filling:
 repeatedly find the most-contended resource, freeze all its flows at
-the equal share, subtract, and continue. Rates are recomputed whenever
-a flow starts, finishes or is cancelled, and whenever a resource's
-capacity changes — between such events all rates are constant, so flow
-completions can be scheduled exactly.
+the equal share, subtract, and continue. Between rate changes all rates
+are constant, so flow completions can be scheduled exactly.
+
+Two structural optimisations keep the hot path sublinear per event at
+cluster scale without changing a single allocated rate:
+
+**Same-timestamp coalescing.** Starting, finishing or cancelling a flow
+only marks the scheduler *dirty*; the progressive-filling pass runs
+once per simulated instant (a zero-delay flush event, or lazily the
+moment any rate is observed). A 500-flow shuffle wave arriving at one
+timestamp therefore pays one filling pass instead of 500. This is
+exact: rates only matter once simulated time advances, and the flush is
+guaranteed to run before it does.
+
+**Scoped incremental recomputation.** The flush re-shares only the
+connected component of the flow/resource bipartite graph reachable from
+the dirtied flows and links. Max-min allocation decomposes across
+connected components, so untouched components keep their frozen rates —
+which are bit-identical to what a full recompute would reassign them.
+
+The filling loop itself scans only the component's resources per round
+(not the cluster's) and tracks flows by dense integer ids rather than
+``id()`` dictionaries.
 
 This fluid model is standard in cluster simulators; it preserves the
 qualitative behaviour the reproduction needs (disk-bound merging,
 NIC-bound shuffles, contention slowdowns) without per-packet events.
+:mod:`repro.sim.flows_reference` keeps the eager O(flows · resources)
+reference scheduler; equivalence tests pin this implementation to it.
 """
 
 from __future__ import annotations
 
 import itertools
 import math
-from typing import Any, Iterable
+from contextlib import contextmanager
+from typing import Iterable, Iterator
 
-from repro.sim.core import Event, SimulationError, Simulator
+from repro.sim.core import Event, SimulationError, Simulator, Timeout
 
 __all__ = ["Flow", "FlowCancelled", "FlowScheduler", "LinkResource"]
 
@@ -53,7 +75,7 @@ class LinkResource:
             raise SimulationError(f"link capacity must be > 0, got {capacity}")
         self.name = name
         self._capacity = float(capacity)
-        self._scheduler: "FlowScheduler | None" = None
+        self._scheduler = None
 
     @property
     def capacity(self) -> float:
@@ -67,7 +89,7 @@ class LinkResource:
             raise SimulationError(f"link capacity must be > 0, got {capacity}")
         self._capacity = float(capacity)
         if self._scheduler is not None:
-            self._scheduler._reshare()
+            self._scheduler._reshare(self)
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"<LinkResource {self.name} {self._capacity:.3g} B/s>"
@@ -76,28 +98,48 @@ class LinkResource:
 class Flow:
     """An in-flight transfer of ``size`` bytes across resources."""
 
-    __slots__ = ("name", "size", "remaining", "rate", "resources", "done", "_active", "_sched")
+    __slots__ = ("name", "size", "remaining", "resources", "done", "fid",
+                 "_rate", "_active", "_sched")
 
     def __init__(self, name: str, size: float, resources: tuple[LinkResource, ...], done: Event) -> None:
         self.name = name
         self.size = float(size)
         self.remaining = float(size)
-        self.rate = 0.0
         self.resources = resources
         #: Event triggered when the transfer completes (value: the flow)
         #: or fails with :class:`FlowCancelled`.
         self.done = done
+        #: Dense per-scheduler integer id, assigned at admission;
+        #: monotone in admission order, so sorting fids recovers the
+        #: scheduler's flow ordering without touching the flow list.
+        self.fid = -1
+        self._rate = 0.0
         self._active = True
-        self._sched: "FlowScheduler | None" = None
+        self._sched = None
+
+    @property
+    def rate(self) -> float:
+        """Current allocated rate. Observing the rate flushes any
+        pending (coalesced) recompute so callers never see a stale
+        mid-instant allocation."""
+        sched = self._sched
+        if sched is not None and sched._dirty:
+            sched._flush()
+        return self._rate
+
+    @property
+    def active(self) -> bool:
+        """True while the flow is admitted and moving bytes."""
+        return self._active
 
     @property
     def transferred(self) -> float:
         """Bytes moved so far, accurate at the current simulated time."""
         remaining = self.remaining
-        if self._active and self._sched is not None and self.rate > 0:
+        if self._active and self._sched is not None and self._rate > 0:
             dt = self._sched.sim.now - self._sched._last_update
             if dt > 0:
-                remaining = max(0.0, remaining - self.rate * dt)
+                remaining = max(0.0, remaining - self._rate * dt)
         return self.size - remaining
 
     @property
@@ -105,23 +147,50 @@ class Flow:
         return 1.0 if self.size == 0 else self.transferred / self.size
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
-        return f"<Flow {self.name} {self.remaining:.3g}/{self.size:.3g}B @{self.rate:.3g}B/s>"
+        return f"<Flow {self.name} {self.remaining:.3g}/{self.size:.3g}B @{self._rate:.3g}B/s>"
 
 
 class FlowScheduler:
-    """Tracks active flows and keeps their max-min rates current."""
+    """Tracks active flows and keeps their max-min rates current.
+
+    Mutations (:meth:`transfer`, :meth:`cancel`, capacity changes,
+    completions) are cheap: they update the flow/resource adjacency and
+    mark the touched resources dirty. Rates are re-shared once per
+    simulated instant, scoped to the dirty connected component.
+    """
 
     def __init__(self, sim: Simulator) -> None:
         self.sim = sim
-        self._active: list[Flow] = []
+        #: fid -> Flow, in admission order (dict preserves insertion).
+        self._active: dict[int, Flow] = {}
+        #: resource -> {fid: Flow} adjacency, each bucket in admission order.
+        self._res_flows: dict[LinkResource, dict[int, Flow]] = {}
         self._last_update = sim.now
-        self._timer_version = 0
         self._names = itertools.count()
+        self._next_fid = 0
+        self._dirty = False
+        self._dirty_res: dict[LinkResource, None] = {}
+        self._flush_scheduled = False
+        self._in_batch = False
+        self._timer: Timeout | None = None
+        self._timer_fire = math.inf
+        #: Observability counters for benchmarks / REPRO_PROFILE.
+        self.stats = {
+            "transfers": 0,
+            "cancels": 0,
+            "completions": 0,
+            "recomputes": 0,
+            "recomputed_flows": 0,
+            "filling_rounds": 0,
+            "timer_pushes": 0,
+            "timer_reuses": 0,
+        }
 
     @property
     def active_flows(self) -> tuple[Flow, ...]:
-        return tuple(self._active)
+        return tuple(self._active.values())
 
+    # -- public API --------------------------------------------------------
     def transfer(
         self,
         size: float,
@@ -138,7 +207,7 @@ class FlowScheduler:
         """
         if size < 0:
             raise SimulationError(f"flow size must be >= 0, got {size}")
-        res = tuple(resources)
+        res = tuple(dict.fromkeys(resources))
         if rate_cap is not None:
             res = res + (LinkResource(f"cap-{name or next(self._names)}", rate_cap),)
         if not res:
@@ -155,29 +224,88 @@ class FlowScheduler:
             flow._active = False
             done.succeed(flow)
             return flow
-        self._advance()
-        self._active.append(flow)
-        self._recompute()
+        if not self._in_batch:
+            self._advance()
+        flow.fid = self._next_fid
+        self._next_fid += 1
+        self._active[flow.fid] = flow
+        for r in res:
+            self._res_flows.setdefault(r, {})[flow.fid] = flow
+        self._mark_dirty(res)
+        self.stats["transfers"] += 1
         return flow
+
+    def transfer_many(self, requests: Iterable[dict]) -> list[Flow]:
+        """Start several flows at the current instant in one batch.
+
+        Each request is a dict of :meth:`transfer` keyword arguments.
+        All flows share a single progress advance and a single deferred
+        recompute.
+        """
+        with self.batch():
+            return [self.transfer(**req) for req in requests]
 
     def cancel(self, flow: Flow, reason: str = "") -> None:
         """Abort a flow; its ``done`` event fails with :class:`FlowCancelled`."""
         if not flow._active:
             return
-        self._advance()
-        flow._active = False
-        self._active.remove(flow)
-        exc = FlowCancelled(flow, reason)
+        if not self._in_batch:
+            self._advance()
+        self._remove(flow)
         flow.done.defuse()
-        flow.done.fail(exc)
-        self._recompute()
+        flow.done.fail(FlowCancelled(flow, reason))
+        self.stats["cancels"] += 1
 
-    def cancel_flows_using(self, resource: LinkResource, reason: str = "") -> list[Flow]:
-        """Cancel every active flow routed through ``resource`` (node death)."""
-        victims = [f for f in self._active if resource in f.resources]
-        for f in victims:
-            self.cancel(f, reason)
+    def cancel_many(self, flows: Iterable[Flow], reason: str = "") -> list[Flow]:
+        """Cancel several flows with one progress advance and one
+        deferred recompute; returns the flows that were still active.
+
+        Bookkeeping completes for the whole batch before the first
+        ``done`` event fails, so failure callbacks observe a consistent
+        scheduler (mirroring :meth:`_complete_finished`).
+        """
+        victims = [f for f in flows if f._active]
+        if not victims:
+            return victims
+        with self.batch():
+            for f in victims:
+                self._remove(f)
+            for f in victims:
+                f.done.defuse()
+                f.done.fail(FlowCancelled(f, reason))
+        self.stats["cancels"] += len(victims)
         return victims
+
+    def cancel_flows_using(self, resources, reason: str = "") -> list[Flow]:
+        """Cancel every active flow routed through ``resources`` (a
+        single :class:`LinkResource` or an iterable of them, e.g. all
+        three device directions of a dead node) in one batch."""
+        if isinstance(resources, LinkResource):
+            resources = (resources,)
+        victims: list[Flow] = []
+        seen: set[int] = set()
+        for r in resources:
+            for fid, f in self._res_flows.get(r, {}).items():
+                if fid not in seen:
+                    seen.add(fid)
+                    victims.append(f)
+        return self.cancel_many(victims, reason)
+
+    @contextmanager
+    def batch(self) -> Iterator["FlowScheduler"]:
+        """Group several mutations at the current instant: progress is
+        advanced once on entry and per-operation advances are skipped.
+        Must not span simulated time (don't yield to the simulator
+        inside the block)."""
+        if self._in_batch:
+            yield self
+            return
+        self._advance()
+        self._in_batch = True
+        try:
+            yield self
+        finally:
+            self._in_batch = False
 
     # -- internals ---------------------------------------------------------
     def _advance(self) -> None:
@@ -187,44 +315,124 @@ class FlowScheduler:
         self._last_update = now
         if dt <= 0:
             return
-        for f in self._active:
-            f.remaining = max(0.0, f.remaining - f.rate * dt)
+        for f in self._active.values():
+            f.remaining = max(0.0, f.remaining - f._rate * dt)
 
-    def _reshare(self) -> None:
+    def _reshare(self, resource: LinkResource | None = None) -> None:
         """Re-run fairness after an external capacity change."""
         self._advance()
         self._complete_finished()
-        self._recompute()
+        self._mark_dirty((resource,) if resource is not None else tuple(self._res_flows))
 
     def _complete_finished(self) -> None:
-        finished = [f for f in self._active if f.remaining <= _EPS * max(f.size, 1.0)]
-        for f in finished:
-            f.remaining = 0.0
-            f._active = False
-            self._active.remove(f)
-        # Trigger completions after bookkeeping so callbacks observing the
+        finished = [f for f in self._active.values()
+                    if f.remaining <= _EPS * max(f.size, 1.0)]
+        # Bookkeeping before completions so callbacks observing the
         # scheduler see a consistent state.
         for f in finished:
+            f.remaining = 0.0
+            self._remove(f)
+        for f in finished:
             f.done.succeed(f)
+        self.stats["completions"] += len(finished)
 
-    def _recompute(self) -> None:
-        """Progressive-filling max-min allocation over active flows."""
-        flows = self._active
-        if not flows:
-            return
-        res_flows: dict[LinkResource, list[Flow]] = {}
+    def _remove(self, flow: Flow) -> None:
+        flow._active = False
+        del self._active[flow.fid]
+        for r in flow.resources:
+            bucket = self._res_flows.get(r)
+            if bucket is not None:
+                bucket.pop(flow.fid, None)
+                if not bucket:
+                    del self._res_flows[r]
+        self._mark_dirty(flow.resources)
+
+    def _mark_dirty(self, resources: Iterable[LinkResource]) -> None:
+        for r in resources:
+            self._dirty_res[r] = None
+        self._dirty = True
+        if not self._flush_scheduled:
+            # One zero-delay flush per instant: it lands after every
+            # already-queued event at the current time, coalescing all
+            # of the instant's flow churn into one recompute.
+            self._flush_scheduled = True
+            self.sim.timeout(0.0)._add_callback(self._flush_cb)
+
+    def _flush_cb(self, _event: Event) -> None:
+        self._flush_scheduled = False
+        if self._dirty:
+            self._flush()
+
+    def _flush(self) -> None:
+        """Recompute rates for the dirty connected component and
+        refresh the completion timer."""
+        self._dirty = False
+        dirty = self._dirty_res
+        self._dirty_res = {}
+        self.stats["recomputes"] += 1
+        if self._active and dirty:
+            fids = self._component_fids(dirty)
+            if fids:
+                self._fill(fids)
+        self._schedule_timer()
+
+    def _component_fids(self, dirty: Iterable[LinkResource]) -> set[int]:
+        """Flows in the connected component(s) reachable from the dirty
+        resources over the flow/resource bipartite graph."""
+        seen_res = set(dirty)
+        stack = list(seen_res)
+        fids: set[int] = set()
+        res_flows = self._res_flows
+        while stack:
+            r = stack.pop()
+            for fid, f in res_flows.get(r, {}).items():
+                if fid not in fids:
+                    fids.add(fid)
+                    for r2 in f.resources:
+                        if r2 not in seen_res:
+                            seen_res.add(r2)
+                            stack.append(r2)
+        return fids
+
+    def _fill(self, fids: set[int]) -> None:
+        """Progressive-filling max-min allocation over one component.
+
+        Bit-identical to a full recompute restricted to these flows:
+        resources are visited in first-encounter order over flows in
+        admission order, and each round's bottleneck is picked by the
+        same strictly-smaller linear scan as the reference scheduler —
+        just over the component's resources instead of the cluster's.
+
+        (A lazy min-heap selection is tempting but wrong here: shares
+        are monotone non-decreasing during filling only in exact
+        arithmetic. In floats, ``(C - 2s)/1`` can round an ulp *below*
+        ``C/3``, so a stale heap key is not a lower bound and the heap
+        can freeze resources in a different order than the reference —
+        breaking bit-identical rates.)
+        """
+        flows = [self._active[fid] for fid in sorted(fids)]
+        self.stats["recomputed_flows"] += len(flows)
+
+        users: dict[LinkResource, list[Flow]] = {}
+        remaining_cap: dict[LinkResource, float] = {}
+        counts: dict[LinkResource, int] = {}
         for f in flows:
             for r in f.resources:
-                res_flows.setdefault(r, []).append(f)
-        remaining_cap = {r: r.capacity for r in res_flows}
-        unfrozen_count = {r: len(fl) for r, fl in res_flows.items()}
-        unfrozen = set(map(id, flows))
-        rate: dict[int, float] = {}
+                bucket = users.get(r)
+                if bucket is None:
+                    users[r] = [f]
+                    remaining_cap[r] = r.capacity
+                    counts[r] = 1
+                else:
+                    bucket.append(f)
+                    counts[r] += 1
 
+        unfrozen = set(fids)
+        rounds = 0
         while unfrozen:
             bottleneck: LinkResource | None = None
             best_share = math.inf
-            for r, cnt in unfrozen_count.items():
+            for r, cnt in counts.items():
                 if cnt > 0:
                     share = max(remaining_cap[r], 0.0) / cnt
                     if share < best_share:
@@ -232,34 +440,58 @@ class FlowScheduler:
                         bottleneck = r
             if bottleneck is None:  # pragma: no cover - defensive
                 break
-            for f in res_flows[bottleneck]:
-                if id(f) in unfrozen:
-                    unfrozen.discard(id(f))
-                    rate[id(f)] = best_share
+            rounds += 1
+            for f in users[bottleneck]:
+                fid = f.fid
+                if fid in unfrozen:
+                    unfrozen.discard(fid)
+                    f._rate = best_share
                     for r2 in f.resources:
                         remaining_cap[r2] -= best_share
-                        unfrozen_count[r2] -= 1
-            unfrozen_count[bottleneck] = 0
-
-        for f in flows:
-            f.rate = rate.get(id(f), 0.0)
-        self._schedule_timer()
+                        counts[r2] -= 1
+            counts[bottleneck] = 0
+        for fid in unfrozen:  # pragma: no cover - defensive
+            self._active[fid]._rate = 0.0
+        self.stats["filling_rounds"] += rounds
 
     def _schedule_timer(self) -> None:
-        self._timer_version += 1
-        version = self._timer_version
         horizon = math.inf
-        for f in self._active:
-            if f.rate > 0:
-                horizon = min(horizon, f.remaining / f.rate)
+        for f in self._active.values():
+            if f._rate > 0:
+                h = f.remaining / f._rate
+                if h < horizon:
+                    horizon = h
         if not math.isfinite(horizon):
+            self._cancel_timer()
             return
+        fire = self.sim.now + max(horizon, 0.0)
+        if self._timer is not None and self._timer_fire == fire:
+            # Horizon unchanged: reuse the pending timer instead of
+            # piling a dead entry onto the event heap.
+            self.stats["timer_reuses"] += 1
+            return
+        self._cancel_timer()
+        timer = self.sim.timeout(max(horizon, 0.0))
+        timer._add_callback(self._on_timer)
+        self._timer = timer
+        self._timer_fire = fire
+        self.stats["timer_pushes"] += 1
 
-        def fire(_event: Event) -> None:
-            if version != self._timer_version:
-                return
-            self._advance()
-            self._complete_finished()
-            self._recompute()
+    def _cancel_timer(self) -> None:
+        if self._timer is not None:
+            self._timer.cancel()
+            self._timer = None
+            self._timer_fire = math.inf
 
-        self.sim.timeout(max(horizon, 0.0))._add_callback(fire)
+    def _on_timer(self, event: Event) -> None:
+        if event is not self._timer:  # pragma: no cover - defensive
+            return
+        self._timer = None
+        self._timer_fire = math.inf
+        self._advance()
+        self._complete_finished()
+        if not self._dirty:
+            # Nothing completed (floating-point residue fire): the
+            # flush that would refresh the timer never runs, so refresh
+            # it here from the advanced remainders.
+            self._schedule_timer()

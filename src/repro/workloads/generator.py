@@ -14,7 +14,6 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.cluster.node import GB
 from repro.sim.core import SimulationError
 from repro.workloads.workload import Workload, secondarysort, terasort, wordcount
 

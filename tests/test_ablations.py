@@ -1,7 +1,5 @@
 """Tests for the ablation drivers and ALM component switches."""
 
-import pytest
-
 from repro.alm import ALMConfig, ALMPolicy
 from repro.experiments.ablations import (
     ablate_liveness_timeout,
@@ -9,7 +7,6 @@ from repro.experiments.ablations import (
 )
 from repro.faults import kill_node_at_progress
 
-from tests.conftest import make_runtime, tiny_workload
 from tests.test_failure_semantics import spatial_runtime
 
 

@@ -7,7 +7,6 @@ from repro.alm.alg import AnalyticsLogStore, LogRecord
 from repro.alm.fcm import FCMReduceAttempt
 from repro.faults import kill_node_at_progress, kill_reduce_at_progress
 from repro.hdfs.hdfs import ReplicationLevel
-from repro.mapreduce.config import JobConf
 from repro.mapreduce.tasks import Task, TaskType
 from repro.sim.core import SimulationError
 

@@ -1,7 +1,5 @@
 """Deeper behavioural tests of ALG/SFM/FCM mechanics."""
 
-import pytest
-
 from repro.alm import ALGConfig, ALMConfig, ALMPolicy
 from repro.alm.fcm import FCMReduceAttempt
 from repro.faults import kill_node_at_progress, kill_reduce_at_progress

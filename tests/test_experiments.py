@@ -7,8 +7,6 @@ directionality — with small inputs so the suite stays fast.
 
 import pytest
 
-from repro.cluster import ClusterSpec, NodeSpec
-from repro.cluster.node import GB, MB
 from repro.experiments import (
     ExperimentConfig,
     fig01_recovery_time,

@@ -3,8 +3,6 @@ task re-execution, silent death on unreachable nodes, fetch-failure
 accounting, and temporal/spatial failure amplification under stock
 YARN recovery."""
 
-import pytest
-
 from repro.faults import (
     kill_maps_at_time,
     kill_node_at_progress,
@@ -131,7 +129,6 @@ def spatial_runtime(policy=None):
     conf = JobConf(reducer_stall_seconds=8, host_failure_penalty=4,
                    map_refetch_reports=8, fetch_retries_per_host=3, num_fetchers=2)
     wl = tiny_workload(input_mb=2048, reducers=4, reduce_cpu=0.15)
-    from repro.hdfs.hdfs import HdfsConfig as _H
     return MapReduceRuntime(
         wl, conf=conf, cluster_spec=spec,
         yarn_config=YarnConfig(nm_liveness_timeout=20.0),

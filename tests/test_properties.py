@@ -10,7 +10,6 @@ from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
 from repro.alm import ALMPolicy
-from repro.cluster.node import MB
 from repro.faults import kill_reduce_at_progress
 from repro.mapreduce.tasks import TaskState
 

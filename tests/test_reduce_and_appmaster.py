@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.cluster.node import MB
 from repro.mapreduce.config import JobConf
 from repro.mapreduce.tasks import TaskState
 

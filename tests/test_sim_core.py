@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.sim import AllOf, AnyOf, Event, Interrupt, Simulator
+from repro.sim import AllOf, AnyOf, Interrupt, Simulator
 from repro.sim.core import SimulationError
 
 

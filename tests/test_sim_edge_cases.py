@@ -9,7 +9,7 @@ import pytest
 
 from repro.sim import AllOf, AnyOf, Interrupt, Simulator
 from repro.sim.core import SimulationError
-from repro.sim.flows import FlowCancelled, FlowScheduler, LinkResource
+from repro.sim.flows import FlowScheduler, LinkResource
 
 
 @pytest.fixture

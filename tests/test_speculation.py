@@ -3,8 +3,7 @@
 import pytest
 
 from repro.faults import SlowNodeFault
-from repro.mapreduce.config import JobConf
-from repro.mapreduce.speculation import SpeculationConfig, Speculator
+from repro.mapreduce.speculation import SpeculationConfig
 from repro.sim.core import SimulationError
 
 from tests.conftest import make_runtime, tiny_workload
