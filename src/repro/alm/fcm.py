@@ -139,9 +139,11 @@ class FCMReduceAttempt(ReduceAttempt):
         out_bytes = total_in * wl.reduce_selectivity
         if out_bytes > 0:
             out_path = f"out/{self.am.job_name}/{self.attempt_id}"
-            waits.append(self.am.hdfs.write(self.node, out_path, out_bytes,
-                                            replication=conf.output_replication,
-                                            overwrite=True))
+            writer = self.am.hdfs.write(self.node, out_path, out_bytes,
+                                        replication=conf.output_replication,
+                                        overwrite=True)
+            self._children.append(writer)
+            waits.append(writer)
         try:
             yield from self._step(self.sim.all_of(waits))
         except FlowCancelled as exc:

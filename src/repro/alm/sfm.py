@@ -181,6 +181,12 @@ class ALMPolicy(RecoveryPolicy):
                 am.schedule_task(task, priority=am.conf.reduce_priority,
                                  attempt_kwargs={"mode": "regular"})
 
+    def on_node_rejoined(self, node: Node) -> None:
+        # The host is reachable again: stop steering reducers into the
+        # wait-for-regeneration path for it. In-flight map reruns still
+        # complete and re-register their MOFs either way.
+        self.regenerating.discard(node.node_id)
+
     def _start_regeneration(self, node: Node) -> None:
         am = self.am
         if node.node_id in self.regenerating:

@@ -17,10 +17,19 @@ Commands
 ``list``
     Show available workloads, policies and experiments.
 
+``chaos``
+    Run a seeded chaos campaign checked against the simulation-wide
+    invariants, e.g.::
+
+        python -m repro chaos --seed 7 --trials 50
+
 Fault specs: ``reduce@P`` (OOM the reducer at progress P),
 ``map@P:IDX``, ``node@P:TARGET`` (TARGET = reducer | map-only | worker
 index), ``nodetime@T:TARGET``, ``maps@T:N`` (kill N maps at time T),
-``slow@T:IDX[:FACTOR]`` (degrade a node's disk).
+``slow@T:IDX[:FACTOR]`` (degrade a node's disk),
+``partition@T:IDX[,IDX...]:DUR`` (transient network partition that
+heals after DUR seconds), ``rack@T:IDX[:crash|network]`` (rack-wide
+failure).
 """
 
 from __future__ import annotations
@@ -32,6 +41,8 @@ from repro.cluster import ClusterSpec
 from repro.experiments import format_table
 from repro.experiments.common import make_policy
 from repro.faults import (
+    PartitionFault,
+    RackFault,
     SlowNodeFault,
     TaskFault,
     kill_maps_at_time,
@@ -76,6 +87,15 @@ def parse_fault(spec: str):
             factor = float(parts[2]) if len(parts) > 2 else 0.1
             return SlowNodeFault(node_index=int(parts[1]) if len(parts) > 1 else 0,
                                  at_time=float(parts[0]), disk_factor=factor)
+        if kind == "partition":
+            indices = tuple(int(i) for i in parts[1].split(","))
+            duration = float(parts[2]) if len(parts) > 2 else 30.0
+            return PartitionFault(node_indices=indices, at_time=float(parts[0]),
+                                  duration=duration)
+        if kind == "rack":
+            mode = parts[2] if len(parts) > 2 else "crash"
+            return RackFault(rack_index=int(parts[1]) if len(parts) > 1 else 0,
+                             at_time=float(parts[0]), mode=mode)
     except (ValueError, IndexError) as exc:
         raise argparse.ArgumentTypeError(f"bad fault spec {spec!r}: {exc}") from exc
     raise argparse.ArgumentTypeError(f"unknown fault kind in {spec!r}")
@@ -130,6 +150,23 @@ def _build_parser() -> argparse.ArgumentParser:
                        default=None,
                        help="profile the experiment driver (sets REPRO_PROFILE; "
                             "reaches worker processes too)")
+
+    p_chaos = sub.add_parser(
+        "chaos", help="run a seeded chaos campaign with invariant checking")
+    p_chaos.add_argument("--seed", type=int, default=7,
+                         help="campaign seed: same seed = identical campaign")
+    p_chaos.add_argument("--trials", type=int, default=50)
+    p_chaos.add_argument("--smoke", action="store_true",
+                         help="CI budget: smaller inputs, at most 30 trials")
+    p_chaos.add_argument("--jobs", type=int, default=None, metavar="N",
+                         help="fan trials across N worker processes "
+                              "(sets REPRO_JOBS; default: serial)")
+    p_chaos.add_argument("--out", metavar="DIR", default="chaos-reports",
+                         help="directory for reproducer JSON files")
+    p_chaos.add_argument("--no-minimize", action="store_true",
+                         help="skip greedy schedule minimization on violation")
+    p_chaos.add_argument("--replay", metavar="FILE", default=None,
+                         help="re-run a reproducer JSON instead of a campaign")
 
     sub.add_parser("list", help="show workloads, policies and experiments")
     return parser
@@ -275,6 +312,46 @@ def _dispatch_experiment(args) -> int:
     return 0
 
 
+def cmd_chaos(args) -> int:
+    import json
+    import os
+
+    from repro.faults.chaos import run_campaign, run_trial_spec
+
+    if args.jobs is not None:
+        os.environ["REPRO_JOBS"] = str(max(1, args.jobs))
+
+    if args.replay is not None:
+        repro = json.loads(open(args.replay).read())
+        spec = repro.get("spec", repro)  # accept a bare spec too
+        if repro.get("minimized_faults"):
+            spec = dict(spec, faults=repro["minimized_faults"])
+        payload = run_trial_spec(spec)
+        status = "ok" if not payload["violations"] else "VIOLATION"
+        print(f"replay of trial {spec['index']} "
+              f"({spec['policy']}/{spec['workload']}): {status}")
+        for v in payload["violations"]:
+            print(f"  - {v}")
+        return 1 if payload["violations"] else 0
+
+    trials = min(args.trials, 30) if args.smoke else args.trials
+    scale = 0.5 if args.smoke else 1.0
+    summary = run_campaign(seed=args.seed, trials=trials, scale=scale,
+                           out_dir=args.out, minimize=not args.no_minimize)
+    print(f"chaos campaign seed={summary['seed']}: {summary['trials']} trials, "
+          f"{summary['jobs_failed']} job failures (legitimate), "
+          f"{summary['violations']} invariant violations")
+    print("  policies: " + ", ".join(
+        f"{k}={v}" for k, v in sorted(summary["by_policy"].items())))
+    print("  fault kinds: " + ", ".join(
+        f"{k}={v}" for k, v in sorted(summary["by_kind"].items())))
+    if summary["violations"]:
+        print("  violating trials: "
+              + ", ".join(str(i) for i in summary["violating_trials"]))
+        return 1
+    return 0
+
+
 def cmd_list(_args) -> int:
     print("workloads:  " + ", ".join(sorted(BENCHMARKS)))
     print("policies:   " + ", ".join(_POLICIES))
@@ -288,6 +365,8 @@ def main(argv: list[str] | None = None) -> int:
         return cmd_run(args)
     if args.command == "experiment":
         return cmd_experiment(args)
+    if args.command == "chaos":
+        return cmd_chaos(args)
     return cmd_list(args)
 
 

@@ -88,6 +88,11 @@ class Cluster:
             self.nodes.append(node)
         #: Listeners invoked as fn(node) when a node dies or loses network.
         self.failure_listeners: list = []
+        #: Listeners invoked as fn(node) when a node comes back
+        #: (network heal or machine restart). Subscribers re-register
+        #: state the failure hid: the RM builds a fresh NodeManager, the
+        #: NameNode takes a block report.
+        self.rejoin_listeners: list = []
 
     # -- lookup ---------------------------------------------------------------
     def node(self, node_id: int) -> Node:
@@ -189,6 +194,32 @@ class Cluster:
         self._sever(node, reason=f"{node.name} network down", include_disk=False)
         self._notify(node)
 
+    # -- recovery ---------------------------------------------------------------
+    def restore_network(self, node: Node) -> None:
+        """Heal a :meth:`stop_network` partition: the machine was up the
+        whole time (files and local processes intact), it just becomes
+        reachable again. No-op on a dead or already-connected node."""
+        if not node.alive or node.network_up:
+            return
+        node.network_up = True
+        self._notify_rejoin(node)
+
+    def restart_node(self, node: Node, wipe_disk: bool = False) -> None:
+        """Bring a crashed machine back up.
+
+        By default the disk survives the power cycle (real crashes do
+        not erase disks), so surviving replicas can be re-registered by
+        rejoin listeners — the HDFS "block report" path. ``wipe_disk``
+        models a reimaged replacement machine instead.
+        """
+        if node.alive:
+            return
+        node.alive = True
+        node.network_up = True
+        if wipe_disk:
+            node.clear_files()
+        self._notify_rejoin(node)
+
     def _sever(self, node: Node, reason: str, include_disk: bool = True) -> None:
         # One batched sweep over all of the victim's device directions:
         # every flow touching the node is cancelled with a single
@@ -201,6 +232,10 @@ class Cluster:
 
     def _notify(self, node: Node) -> None:
         for fn in list(self.failure_listeners):
+            fn(node)
+
+    def _notify_rejoin(self, node: Node) -> None:
+        for fn in list(self.rejoin_listeners):
             fn(node)
 
     # -- guards --------------------------------------------------------------

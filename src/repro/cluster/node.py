@@ -85,6 +85,10 @@ class Node:
     def delete_file(self, path: str) -> None:
         self._files.pop(path, None)
 
+    def clear_files(self) -> None:
+        """Drop every local file (a reimaged replacement machine)."""
+        self._files.clear()
+
     def files(self, kind: str | None = None) -> list[LocalFile]:
         fs = list(self._files.values())
         return fs if kind is None else [f for f in fs if f.kind == kind]

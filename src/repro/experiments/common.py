@@ -20,6 +20,7 @@ __all__ = [
     "ExperimentConfig",
     "averaged_job_time",
     "format_table",
+    "invariants_from_env",
     "make_policy",
     "run_benchmark_job",
     "run_benchmark_trial",
@@ -32,6 +33,13 @@ def scale_from_env(default: float = 1.0) -> float:
     ``REPRO_SCALE`` environment variable overrides (benchmarks use it
     to trade fidelity for wall time)."""
     return float(os.environ.get("REPRO_SCALE", default))
+
+
+def invariants_from_env() -> bool:
+    """Whether to run the post-run invariant suite on every trial
+    (``REPRO_INVARIANTS=1``): trials record violations in their payload
+    and the :class:`~repro.runner.TrialRunner` fails loudly on any."""
+    return os.environ.get("REPRO_INVARIANTS", "") not in ("", "0")
 
 
 @dataclass
@@ -70,6 +78,10 @@ def make_policy(system: str, alg_frequency: float = 10.0,
         return ALMPolicy(ALMConfig(enable_alg=False, enable_sfm=True, fcm_cap=fcm_cap))
     if system == "alm":
         return ALMPolicy(ALMConfig(alg=alg, fcm_cap=fcm_cap))
+    if system == "iss":
+        from repro.baselines.iss import ISSPolicy
+
+        return ISSPolicy()
     raise ValueError(f"unknown system {system!r}")
 
 
@@ -116,15 +128,20 @@ def run_benchmark_trial(
     """
     cfg = (base_config or ExperimentConfig()).with_seed(seed)
     faults = [fault_factory()] if fault_factory is not None else []
-    _, res = run_benchmark_job(workload, system, faults=faults, config=cfg,
-                               job_name=f"{job_name}-s{seed}",
-                               policy_kwargs=policy_kwargs)
-    return {
+    rt, res = run_benchmark_job(workload, system, faults=faults, config=cfg,
+                                job_name=f"{job_name}-s{seed}",
+                                policy_kwargs=policy_kwargs)
+    payload = {
         "elapsed": res.elapsed,
         "success": res.success,
         "counters": dict(res.counters),
         "digest": trace_digest(res.trace),
     }
+    if invariants_from_env():
+        from repro.invariants import check_invariants
+
+        payload["invariant_violations"] = check_invariants(rt, res)
+    return payload
 
 
 def averaged_job_time(

@@ -3,13 +3,18 @@
 Mirrors the paper's methodology (§V-B): transient task failures are
 emulated by injecting an out-of-memory exception into a running task at
 a chosen progress point; node failures by stopping a node's network
-services (or crashing it outright) at a chosen time or job-progress
-point.
+services (or crashing it outright) at a chosen time, job-progress point
+or trace-event trigger. The chaos extensions add transient partitions
+with recovery, rack-correlated failures and degraded-hardware faults.
 """
 
 from repro.faults.inject import (
+    EventTrigger,
     FaultInjector,
+    MapWaveFault,
     NodeFault,
+    PartitionFault,
+    RackFault,
     TaskFault,
     kill_node_at_progress,
     kill_node_at_time,
@@ -19,8 +24,12 @@ from repro.faults.inject import (
 from repro.faults.stragglers import SlowNodeFault
 
 __all__ = [
+    "EventTrigger",
     "FaultInjector",
+    "MapWaveFault",
     "NodeFault",
+    "PartitionFault",
+    "RackFault",
     "SlowNodeFault",
     "TaskFault",
     "kill_maps_at_time",

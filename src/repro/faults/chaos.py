@@ -1,0 +1,384 @@
+"""Seeded chaos campaigns: random fault schedules × policies × workloads,
+checked against the simulation-wide invariants.
+
+A campaign is fully determined by ``(campaign seed, trial index)``:
+trial ``i`` derives its workload, cluster shape, policy and fault
+schedule from ``numpy.random.default_rng([seed, i])``, so the same seed
+always regenerates the identical campaign — schedules *and* trace
+digests. Trials fan out through the
+:class:`~repro.runner.TrialRunner` (``REPRO_JOBS`` parallelism and
+caching apply unchanged).
+
+Every trial runs the full invariant suite (:mod:`repro.invariants`).
+A violation produces a *reproducer*: a self-contained JSON spec (the
+exact fault schedule plus every sampled parameter) that
+``python -m repro chaos --replay FILE`` re-executes, after a greedy
+minimization pass has shrunk the schedule to the smallest subset of
+faults that still violates.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+import numpy as np
+
+from repro.cluster import ClusterSpec
+from repro.faults.inject import (
+    EventTrigger,
+    FaultInjector,
+    MapWaveFault,
+    NodeFault,
+    PartitionFault,
+    RackFault,
+    TaskFault,
+)
+from repro.faults.stragglers import SlowNodeFault
+from repro.mapreduce.job import MapReduceRuntime
+from repro.mapreduce.tasks import TaskType
+from repro.sim.core import SimulationError
+from repro.workloads import BENCHMARKS
+from repro.yarn.rm import YarnConfig
+
+__all__ = [
+    "CHAOS_POLICIES",
+    "FAULT_KINDS",
+    "build_fault",
+    "generate_trial",
+    "run_campaign",
+    "run_chaos_trial",
+    "run_trial_spec",
+]
+
+#: Every recovery policy under test, rotated across trial indices.
+CHAOS_POLICIES = ("yarn", "alg", "sfm", "alm", "iss")
+
+#: Fault-schedule archetypes, rotated across trial indices so every
+#: kind appears regardless of campaign size (gcd(5, 8) = 1 means all
+#: 40 policy x kind pairs appear within 40 trials).
+FAULT_KINDS = (
+    "task-oom",
+    "task-oom-recurring",
+    "node-crash",
+    "node-partition-recover",
+    "rack-crash",
+    "degraded-node",
+    "map-wave",
+    "crash-during-recovery",
+)
+
+
+# -- schedule generation -----------------------------------------------------
+
+def generate_trial(campaign: dict[str, Any], index: int) -> dict[str, Any]:
+    """Derive trial ``index``'s complete spec from the campaign seed."""
+    rng = np.random.default_rng([int(campaign["seed"]), int(index)])
+    scale = float(campaign.get("scale", 1.0))
+    workload = ("terasort", "wordcount", "secondarysort")[int(rng.integers(3))]
+    nodes = int(rng.integers(6, 10))
+    spec: dict[str, Any] = {
+        "index": index,
+        "policy": CHAOS_POLICIES[index % len(CHAOS_POLICIES)],
+        "workload": workload,
+        "input_gb": round(float(rng.uniform(2.0, 5.0)) * scale, 3),
+        "reducers": int(rng.integers(2, 5)),
+        "nodes": nodes,
+        "racks": 2 if nodes < 8 else int(rng.integers(2, 4)),
+        "liveness": float(rng.choice([20.0, 40.0])),
+        "runtime_seed": int(rng.integers(1, 2**31 - 1)),
+        "hard_timeout": float(campaign.get("hard_timeout", 100_000.0)),
+        "stall_timeout": float(campaign.get("stall_timeout", 2_000.0)),
+    }
+    kinds = [FAULT_KINDS[index % len(FAULT_KINDS)]]
+    if rng.random() < 0.4:  # sometimes compound two archetypes
+        kinds.append(FAULT_KINDS[int(rng.integers(len(FAULT_KINDS)))])
+    spec["faults"] = []
+    for kind in kinds:
+        spec["faults"].extend(_sample_faults(kind, rng, spec))
+    return spec
+
+
+def _sample_faults(kind: str, rng: np.random.Generator,
+                   spec: dict[str, Any]) -> list[dict[str, Any]]:
+    workers = spec["nodes"] - 1  # node 0 hosts the RM/NameNode
+    if kind == "task-oom":
+        return [{
+            "kind": "task-oom",
+            "task_type": "reduce" if rng.random() < 0.7 else "map",
+            "task_index": int(rng.integers(spec["reducers"])),
+            "at_progress": round(float(rng.uniform(0.1, 0.9)), 3),
+        }]
+    if kind == "task-oom-recurring":
+        # repeat=2 also OOMs the recovery attempt (fault-during-recovery).
+        return [{
+            "kind": "task-oom",
+            "task_type": "reduce",
+            "task_index": int(rng.integers(spec["reducers"])),
+            "at_progress": round(float(rng.uniform(0.2, 0.8)), 3),
+            "repeat": 2,
+        }]
+    if kind == "node-crash":
+        fault: dict[str, Any] = {
+            "kind": "node-crash",
+            "target": ("reducer", "map-only", int(rng.integers(workers)))[
+                int(rng.integers(3))],
+        }
+        if rng.random() < 0.5:
+            fault["at_progress"] = round(float(rng.uniform(0.2, 0.8)), 3)
+        else:
+            fault["at_time"] = round(float(rng.uniform(20.0, 150.0)), 1)
+        if rng.random() < 0.5:  # power-cycled machine rejoins, disk intact
+            fault["duration"] = round(float(rng.uniform(60.0, 200.0)), 1)
+        return [fault]
+    if kind == "node-partition-recover":
+        # Durations straddle the liveness timeout on purpose: some heal
+        # before the RM notices, some after (full lost -> rejoin path).
+        duration = round(float(rng.uniform(10.0, 4.0 * spec["liveness"])), 1)
+        if rng.random() < 0.5 and workers >= 3:
+            count = int(rng.integers(2, min(4, workers)))
+            picks = rng.choice(workers, size=count, replace=False)
+            return [{
+                "kind": "partition",
+                "node_indices": sorted(int(i) for i in picks),
+                "at_time": round(float(rng.uniform(15.0, 120.0)), 1),
+                "duration": duration,
+            }]
+        return [{
+            "kind": "node-network",
+            "target": int(rng.integers(workers)),
+            "at_time": round(float(rng.uniform(15.0, 120.0)), 1),
+            "duration": duration,
+        }]
+    if kind == "rack-crash":
+        fault = {
+            "kind": "rack",
+            "rack_index": int(rng.integers(spec["racks"])),
+            "mode": "crash" if rng.random() < 0.5 else "network",
+            "at_time": round(float(rng.uniform(20.0, 120.0)), 1),
+            "stagger": round(float(rng.uniform(0.0, 5.0)), 2),
+        }
+        if rng.random() < 0.6:
+            fault["count"] = int(rng.integers(1, 3))
+        if rng.random() < 0.5:
+            fault["duration"] = round(float(rng.uniform(60.0, 200.0)), 1)
+        return [fault]
+    if kind == "degraded-node":
+        fault = {
+            "kind": "degraded",
+            "node_index": int(rng.integers(workers)),
+            "at_time": round(float(rng.uniform(5.0, 80.0)), 1),
+            "disk_factor": round(float(rng.uniform(0.05, 0.5)), 3),
+            "nic_factor": round(float(rng.uniform(0.2, 1.0)), 3),
+        }
+        if rng.random() < 0.5:
+            fault["duration"] = round(float(rng.uniform(40.0, 150.0)), 1)
+        return [fault]
+    if kind == "map-wave":
+        return [{
+            "kind": "map-wave",
+            "count": int(rng.integers(1, 4)),
+            "at_time": round(float(rng.uniform(2.0, 30.0)), 1),
+        }]
+    if kind == "crash-during-recovery":
+        # First crash by progress; second crash keyed on the trace —
+        # "another node dies N seconds after the first node_lost".
+        first: dict[str, Any] = {
+            "kind": "node-crash",
+            "target": "reducer",
+            "at_progress": round(float(rng.uniform(0.3, 0.7)), 3),
+        }
+        second: dict[str, Any] = {
+            "kind": "node-crash",
+            "target": int(rng.integers(workers)),
+            "after": {"kind": "node_lost",
+                      "delay": round(float(rng.uniform(5.0, 20.0)), 1)},
+        }
+        if rng.random() < 0.4:
+            second["duration"] = round(float(rng.uniform(80.0, 200.0)), 1)
+        return [first, second]
+    raise SimulationError(f"unknown chaos fault kind {kind!r}")
+
+
+# -- spec -> injector --------------------------------------------------------
+
+def build_fault(d: dict[str, Any]):
+    """Materialise one JSON fault spec as an injector object."""
+    kind = d["kind"]
+    if kind == "task-oom":
+        return TaskFault(
+            task_type=TaskType.MAP if d.get("task_type") == "map" else TaskType.REDUCE,
+            task_index=int(d.get("task_index", 0)),
+            at_progress=float(d.get("at_progress", 0.5)),
+            repeat=int(d.get("repeat", 1)),
+        )
+    if kind in ("node-crash", "node-network"):
+        after = EventTrigger(**d["after"]) if "after" in d else None
+        return NodeFault(
+            target=d.get("target", "reducer"),
+            at_time=d.get("at_time"),
+            at_progress=d.get("at_progress"),
+            after=after,
+            mode="crash" if kind == "node-crash" else "network",
+            duration=d.get("duration"),
+            reduce_task_index=int(d.get("reduce_task_index", 0)),
+        )
+    if kind == "partition":
+        return PartitionFault(
+            node_indices=tuple(d["node_indices"]),
+            at_time=float(d["at_time"]),
+            duration=float(d["duration"]),
+        )
+    if kind == "rack":
+        return RackFault(
+            rack_index=int(d["rack_index"]),
+            count=d.get("count"),
+            at_time=float(d["at_time"]),
+            mode=d.get("mode", "crash"),
+            stagger=float(d.get("stagger", 0.0)),
+            duration=d.get("duration"),
+        )
+    if kind == "degraded":
+        return SlowNodeFault(
+            node_index=int(d["node_index"]),
+            at_time=float(d["at_time"]),
+            disk_factor=float(d.get("disk_factor", 0.1)),
+            nic_factor=float(d.get("nic_factor", 1.0)),
+            duration=d.get("duration"),
+        )
+    if kind == "map-wave":
+        return MapWaveFault(count=int(d["count"]), at_time=float(d["at_time"]))
+    raise SimulationError(f"unknown fault spec kind {kind!r}")
+
+
+# -- execution ---------------------------------------------------------------
+
+def run_trial_spec(spec: dict[str, Any]) -> dict[str, Any]:
+    """Run one fully-specified trial; returns outcome + violations."""
+    from repro.experiments.common import make_policy
+    from repro.invariants import check_invariants, state_probe
+    from repro.runner import trace_digest
+
+    wl = BENCHMARKS[spec["workload"]](spec["input_gb"],
+                                      num_reducers=spec["reducers"])
+    rt = MapReduceRuntime(
+        wl,
+        cluster_spec=ClusterSpec(num_nodes=spec["nodes"], num_racks=spec["racks"],
+                                 seed=spec["runtime_seed"]),
+        yarn_config=YarnConfig(nm_liveness_timeout=spec["liveness"]),
+        policy=make_policy(spec["policy"]),
+        job_name=f"chaos-{spec['index']}",
+    )
+    FaultInjector(*[build_fault(d) for d in spec["faults"]]).install(rt)
+    result = rt.run(timeout=spec.get("hard_timeout", 100_000.0),
+                    stall_timeout=spec.get("stall_timeout", 2_000.0))
+    violations = check_invariants(rt, result)
+    payload: dict[str, Any] = {
+        "spec": spec,
+        "success": result.success,
+        "elapsed": round(result.elapsed, 3),
+        "violations": violations,
+        "faults_fired": len(rt.trace.of_kind("fault_injected")),
+        "faults_skipped": len(rt.trace.of_kind("fault_skipped")),
+        "nodes_lost": result.counters.get("nodes_lost", 0),
+        "digest": trace_digest(result.trace),
+    }
+    if violations:
+        payload["state"] = state_probe(rt)
+    return payload
+
+
+def run_chaos_trial(seed: int, campaign: dict[str, Any]) -> dict[str, Any]:
+    """:class:`TrialRunner` fan-out target; ``seed`` is the trial index."""
+    return run_trial_spec(generate_trial(campaign, seed))
+
+
+def minimize_spec(spec: dict[str, Any]) -> dict[str, Any]:
+    """Greedily shrink a violating schedule: keep dropping single faults
+    while the remainder still violates. O(n^2) runs, n = #faults (small)."""
+    faults = list(spec["faults"])
+    changed = True
+    while changed and len(faults) > 1:
+        changed = False
+        for i in range(len(faults)):
+            candidate = dict(spec, faults=faults[:i] + faults[i + 1:])
+            if run_trial_spec(candidate)["violations"]:
+                faults = candidate["faults"]
+                changed = True
+                break
+    return dict(spec, faults=faults)
+
+
+# -- campaign driver ---------------------------------------------------------
+
+def run_campaign(
+    seed: int,
+    trials: int,
+    scale: float = 1.0,
+    out_dir: str | Path | None = None,
+    minimize: bool = True,
+    echo=print,
+) -> dict[str, Any]:
+    """Run a campaign; write a reproducer per violating trial.
+
+    Returns a summary dict with per-policy / per-kind coverage counts
+    and the list of violating trial indices.
+    """
+    from repro.runner import TrialRunner
+
+    campaign = {"seed": int(seed), "scale": float(scale)}
+    results = TrialRunner().run(
+        experiment=f"chaos:{seed}:{scale}",
+        fn=run_chaos_trial,
+        seeds=list(range(trials)),
+        kwargs={"campaign": campaign},
+    )
+    by_policy: dict[str, int] = {}
+    by_kind: dict[str, int] = {}
+    failing: list[dict[str, Any]] = []
+    jobs_failed = 0
+    for r in results:
+        payload = r.payload
+        spec = payload["spec"]
+        by_policy[spec["policy"]] = by_policy.get(spec["policy"], 0) + 1
+        for f in spec["faults"]:
+            by_kind[f["kind"]] = by_kind.get(f["kind"], 0) + 1
+        if not payload["success"]:
+            jobs_failed += 1
+        if payload["violations"]:
+            failing.append(payload)
+
+    reproducers: list[str] = []
+    for payload in failing:
+        spec = payload["spec"]
+        echo(f"trial {spec['index']}: INVARIANT VIOLATION")
+        for v in payload["violations"]:
+            echo(f"  - {v}")
+        minimized = minimize_spec(spec) if minimize else spec
+        repro = {
+            "campaign_seed": seed,
+            "trial_index": spec["index"],
+            "violations": payload["violations"],
+            "spec": spec,
+            "minimized_faults": minimized["faults"],
+        }
+        if out_dir is not None:
+            path = Path(out_dir) / f"chaos-repro-s{seed}-t{spec['index']}.json"
+            path.parent.mkdir(parents=True, exist_ok=True)
+            path.write_text(json.dumps(repro, indent=2, sort_keys=True))
+            reproducers.append(str(path))
+            echo(f"  reproducer written to {path} "
+                 f"({len(minimized['faults'])}/{len(spec['faults'])} faults "
+                 "after minimization)")
+    return {
+        "seed": seed,
+        "trials": trials,
+        "violations": len(failing),
+        "violating_trials": [p["spec"]["index"] for p in failing],
+        "jobs_failed": jobs_failed,
+        "by_policy": by_policy,
+        "by_kind": by_kind,
+        "reproducers": reproducers,
+        "digests": [r.payload["digest"] for r in results],
+    }

@@ -12,7 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
-from repro.sim.core import SimulationError
+from repro.faults.inject import _require
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.mapreduce.job import MapReduceRuntime
@@ -27,25 +27,40 @@ class SlowNodeFault:
     ``disk_factor`` / ``nic_factor`` multiply the device capacities
     (e.g. 0.1 = ten times slower). The node keeps heartbeating, so the
     RM never declares it lost — only speculation or ALM's Algorithm 1
-    can save tasks scheduled there.
+    can save tasks scheduled there. With ``duration`` the degradation
+    is transient (a background scrub, a flaky cable): capacities are
+    restored to the node's spec after that many seconds.
     """
 
     node_index: int = 0
     at_time: float = 0.0
     disk_factor: float = 0.1
     nic_factor: float = 1.0
+    duration: float | None = None
     fired_at: float | None = field(default=None, init=False)
+    recovered_at: float | None = field(default=None, init=False)
     victim_name: str | None = field(default=None, init=False)
 
     def install(self, rt: "MapReduceRuntime") -> None:
-        if not 0 < self.disk_factor <= 1 or not 0 < self.nic_factor <= 1:
-            raise SimulationError("degradation factors must be in (0, 1]")
+        _require(0 < self.disk_factor <= 1, "SlowNodeFault.disk_factor",
+                 f"must be in (0, 1], got {self.disk_factor}")
+        _require(0 < self.nic_factor <= 1, "SlowNodeFault.nic_factor",
+                 f"must be in (0, 1], got {self.nic_factor}")
+        _require(self.at_time >= 0, "SlowNodeFault.at_time",
+                 f"must be >= 0, got {self.at_time}")
+        _require(0 <= self.node_index < len(rt.workers), "SlowNodeFault.node_index",
+                 f"worker index out of range [0, {len(rt.workers)})")
+        if self.duration is not None:
+            _require(self.duration > 0, "SlowNodeFault.duration",
+                     f"must be > 0, got {self.duration}")
         rt.sim.process(self._watch(rt), name=f"fault:slow-node:{self.node_index}")
 
     def _watch(self, rt: "MapReduceRuntime"):
         yield rt.sim.timeout(self.at_time)
         node = rt.workers[self.node_index]
         if not node.alive:
+            rt.trace.log("fault_skipped", fault="slow-node", node=node.name,
+                         reason="victim already dead")
             return
         self.fired_at = rt.sim.now
         self.victim_name = node.name
@@ -54,3 +69,13 @@ class SlowNodeFault:
         node.nic_out.set_capacity(node.spec.nic_bandwidth * self.nic_factor)
         rt.trace.log("fault_injected", fault="slow-node", node=node.name,
                      disk_factor=self.disk_factor, nic_factor=self.nic_factor)
+        if self.duration is None:
+            return
+        yield rt.sim.timeout(self.duration)
+        self.recovered_at = rt.sim.now
+        # Restore to spec even if the node died meanwhile — harmless,
+        # and a later restart should come back at full speed.
+        node.disk.set_capacity(node.spec.disk_bandwidth)
+        node.nic_in.set_capacity(node.spec.nic_bandwidth)
+        node.nic_out.set_capacity(node.spec.nic_bandwidth)
+        rt.trace.log("fault_recovered", fault="slow-node", node=node.name)

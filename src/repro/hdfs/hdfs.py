@@ -8,7 +8,7 @@ from dataclasses import dataclass, field
 
 from repro.cluster import Cluster
 from repro.cluster.node import MB, Node
-from repro.sim.core import Process, SimulationError, Simulator
+from repro.sim.core import Interrupt, Process, SimulationError, Simulator
 from repro.sim.flows import FlowCancelled
 
 __all__ = [
@@ -99,6 +99,7 @@ class Hdfs:
         #: Nodes eligible to store blocks (excludes e.g. the RM/NameNode host).
         self.datanodes: list[Node] = list(cluster.nodes)
         cluster.failure_listeners.append(self._on_node_failure)
+        cluster.rejoin_listeners.append(self._on_node_rejoin)
 
     # -- metadata -----------------------------------------------------------
     def exists(self, path: str) -> bool:
@@ -270,12 +271,24 @@ class Hdfs:
                 if not writer.alive:
                     raise HdfsError(f"writer died during write of {path}") from exc
                 continue
-            block.replicas = targets
-            for n in targets:
-                if n.alive:
-                    n.write_file(self._replica_path(block), bsize, kind="hdfs")
+            except Interrupt:
+                # The writing task was killed: abandon the file and drop
+                # the in-flight pipeline instead of streaming into the
+                # void as an orphaned flow.
+                self.cluster.flows.cancel_many(
+                    [fl for fl in flows if fl.active], "write abandoned")
+                return None
+            block.replicas = [n for n in targets if n.alive]
+            for n in block.replicas:
+                n.write_file(self._replica_path(block), bsize, kind="hdfs")
             f.blocks.append(block)
             remaining -= bsize
+        # A replica holder may die after its block's pipeline finished
+        # but before file close. The file is only registered at close,
+        # so ``_on_node_failure`` never saw it — prune the casualties
+        # here (real HDFS validates replica lists at close the same way).
+        for b in f.blocks:
+            b.replicas = [n for n in b.replicas if n.alive]
         self._files[path] = f
         return f
 
@@ -338,3 +351,15 @@ class Hdfs:
             for b in f.blocks:
                 if node in b.replicas:
                     b.replicas = [n for n in b.replicas if n is not node]
+
+    def _on_node_rejoin(self, node: Node) -> None:
+        """DataNode block report: a rejoining node re-registers every
+        replica that survived on its disk. A healed partition never
+        pruned metadata, so this only matters after a crash+restart —
+        the NameNode forgot the replicas, the disk did not."""
+        if not node.reachable:
+            return
+        for f in self._files.values():
+            for b in f.blocks:
+                if node not in b.replicas and node.has_file(self._replica_path(b)):
+                    b.replicas.append(node)

@@ -1,0 +1,238 @@
+"""Simulation-wide invariant checkers.
+
+A fault schedule that merely slows a job down is business as usual; one
+that wedges the event loop, leaks containers, loses reduce output bytes
+or corrupts NameNode metadata is a simulator bug. These checkers encode
+what must hold after *every* run — fault-free or chaotic — and are the
+oracle of the chaos campaign (:mod:`repro.faults.chaos`).
+
+Each checker is ``fn(rt, result) -> list[str]`` where ``rt`` is the
+:class:`~repro.mapreduce.job.MapReduceRuntime` *after* ``rt.run()``
+returned ``result``. An empty list means the invariant holds.
+
+Use :func:`check_invariants` standalone, or set ``REPRO_INVARIANTS=1``
+to make the experiment drivers record (and the trial runner reject)
+violations on every trial.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable
+
+from repro.mapreduce.tasks import AttemptState
+from repro.sim.core import SimulationError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.mapreduce.job import JobResult, MapReduceRuntime
+
+__all__ = [
+    "INVARIANTS",
+    "InvariantViolation",
+    "assert_invariants",
+    "check_invariants",
+    "settle",
+    "state_probe",
+]
+
+#: Relative tolerance for byte accounting (float accumulation error).
+_REL_TOL = 1e-6
+#: Simulated seconds granted after job end for in-flight teardown
+#: (speculative-loser kills, flow cancels) to drain before checking.
+_SETTLE_SECONDS = 5.0
+
+
+class InvariantViolation(SimulationError):
+    """One or more post-run invariants failed."""
+
+    def __init__(self, violations: list[str]) -> None:
+        super().__init__("; ".join(violations))
+        self.violations = list(violations)
+
+
+# -- individual checkers -----------------------------------------------------
+
+def check_termination(rt: "MapReduceRuntime", result: "JobResult") -> list[str]:
+    """The job must end for a *modelled* reason: success, or a task
+    exhausting its attempt budget. A stall (frozen event loop / frozen
+    progress) or an unexplained failure is a simulator bug."""
+    out = []
+    if result.counters.get("stalled"):
+        out.append("termination: run stalled — "
+                   + str(result.counters.get("stall_reason", "unknown")))
+    elif not result.success and not rt.trace.of_kind("task_failed"):
+        out.append("termination: job failed without a task_failed cause")
+    return out
+
+
+def check_byte_conservation(rt: "MapReduceRuntime", result: "JobResult") -> list[str]:
+    """On success, every reducer must have consumed its full partition
+    (``shuffle_bytes * partition_weight``) exactly once — across however
+    many attempts, migrations and log-resumes it took — and produced
+    ``input * reduce_selectivity`` output bytes. Lost or double-counted
+    bytes mean a recovery path dropped or replayed work."""
+    if not result.success:
+        return []
+    out = []
+    am = rt.am
+    wl = rt.workload
+    if len(am.reduce_commits) != am.num_reduces:
+        out.append(f"bytes: {len(am.reduce_commits)} commit records for "
+                   f"{am.num_reduces} reducers")
+    for task in am.reduce_tasks:
+        rec = am.reduce_commits.get(task.task_id)
+        if rec is None:
+            continue  # already reported above
+        expected = wl.shuffle_bytes * float(am.partition_weights[task.partition_index])
+        covered = rec["input_bytes"]
+        resume = rec["resume_fraction"]
+        if rec["mode"] == "fcm" and resume < 1.0:
+            # FCM streams only the un-resumed remainder; logs covered the rest.
+            covered = rec["input_bytes"] / (1.0 - resume)
+        tol = max(1.0, _REL_TOL * expected)
+        if abs(covered - expected) > tol:
+            out.append(f"bytes: {task.name} covered {covered:.1f} of "
+                       f"{expected:.1f} expected input bytes "
+                       f"(mode={rec['mode']}, resume={resume:.3f})")
+        expected_out = rec["input_bytes"] * wl.reduce_selectivity
+        if abs(rec["output_bytes"] - expected_out) > max(1.0, _REL_TOL * expected_out):
+            out.append(f"bytes: {task.name} wrote {rec['output_bytes']:.1f}, "
+                       f"expected {expected_out:.1f} output bytes")
+    return out
+
+
+def check_no_orphans(rt: "MapReduceRuntime", result: "JobResult") -> list[str]:
+    """After the job ends nothing job-owned may still be executing:
+    no live attempt (or attempt-child) process, no active flow, no armed
+    flow-scheduler timer. Infrastructure daemons (heartbeats, liveness
+    monitor) legitimately run forever and are not counted."""
+    if result.counters.get("stalled"):
+        return []  # a wedged run leaves work in flight by definition
+    out = []
+    for task in rt.am.map_tasks + rt.am.reduce_tasks:
+        for attempt in task.attempts:
+            if attempt.process is not None and attempt.process.is_alive:
+                out.append(f"orphans: attempt {attempt.attempt_id} "
+                           f"({attempt.state.value}) still running")
+            for child in attempt._children:
+                if child.is_alive:
+                    out.append(f"orphans: child process of {attempt.attempt_id} "
+                               "still running")
+    flows = rt.cluster.flows
+    active = tuple(flows.active_flows)
+    if active:
+        names = ", ".join(f.name for f in active[:5])
+        out.append(f"orphans: {len(active)} flows still active ({names})")
+    timer = getattr(flows, "_timer", None)
+    if not active and timer is not None and not getattr(timer, "cancelled", False):
+        out.append("orphans: flow-scheduler timer armed with no active flows")
+    return out
+
+
+def check_containers_released(rt: "MapReduceRuntime", result: "JobResult") -> list[str]:
+    """Every container must be back with the RM: a surviving NM with
+    nonzero used memory after job end is a leak that starves every
+    later job on a shared cluster."""
+    if result.counters.get("stalled"):
+        return []
+    out = []
+    for nm in rt.rm.node_managers.values():
+        if nm.lost:
+            continue  # its containers were force-killed with the node
+        if nm.used_mb != 0 or nm.containers:
+            held = ", ".join(f"c{c.container_id}" for c in nm.containers[:5])
+            out.append(f"containers: {nm.node.name} still holds "
+                       f"{nm.used_mb}MB ({held})")
+    return out
+
+
+def check_hdfs_consistency(rt: "MapReduceRuntime", result: "JobResult") -> list[str]:
+    """NameNode metadata must agree with DataNode disks after any mix
+    of crashes, partitions and rejoins: no dead node in a replica list,
+    no duplicate replicas, and every listed live replica physically on
+    that node's disk."""
+    out = []
+    for f in rt.hdfs._files.values():
+        for b in f.blocks:
+            seen = set()
+            for node in b.replicas:
+                if id(node) in seen:
+                    out.append(f"hdfs: blk_{b.block_id} of {b.path} lists "
+                               f"{node.name} twice")
+                seen.add(id(node))
+                if not node.alive:
+                    out.append(f"hdfs: blk_{b.block_id} of {b.path} has dead "
+                               f"replica {node.name}")
+                elif not node.has_file(rt.hdfs._replica_path(b)):
+                    out.append(f"hdfs: blk_{b.block_id} of {b.path} replica "
+                               f"missing from {node.name}'s disk")
+    return out
+
+
+INVARIANTS: dict[str, Callable] = {
+    "termination": check_termination,
+    "byte_conservation": check_byte_conservation,
+    "no_orphans": check_no_orphans,
+    "containers_released": check_containers_released,
+    "hdfs_consistency": check_hdfs_consistency,
+}
+
+
+# -- entry points ------------------------------------------------------------
+
+def settle(rt: "MapReduceRuntime", seconds: float = _SETTLE_SECONDS) -> None:
+    """Advance the simulation a little past job end.
+
+    ``sim.run(until=am.done)`` returns the instant the job-end event
+    fires; kill interrupts and flow cancels issued *at* that instant are
+    still in the heap. Draining a few simulated seconds separates
+    "teardown in flight" from genuinely leaked work."""
+    if rt.sim.peek() == float("inf"):
+        return
+    rt.sim.run(until=rt.sim.now + seconds)
+
+
+def check_invariants(
+    rt: "MapReduceRuntime",
+    result: "JobResult",
+    names: list[str] | None = None,
+    pre_settle: bool = True,
+) -> list[str]:
+    """Run the selected (default: all) checkers; return all violations."""
+    if pre_settle and not result.counters.get("stalled"):
+        settle(rt)
+    selected = names if names is not None else list(INVARIANTS)
+    violations: list[str] = []
+    for name in selected:
+        try:
+            checker = INVARIANTS[name]
+        except KeyError:
+            raise SimulationError(f"unknown invariant: {name!r}") from None
+        violations.extend(checker(rt, result))
+    return violations
+
+
+def assert_invariants(rt: "MapReduceRuntime", result: "JobResult",
+                      names: list[str] | None = None) -> None:
+    """Raise :class:`InvariantViolation` if any checker fails."""
+    violations = check_invariants(rt, result, names)
+    if violations:
+        raise InvariantViolation(violations)
+
+
+def state_probe(rt: "MapReduceRuntime") -> dict:
+    """Debug helper: summarise post-run state for reproducer reports."""
+    running = [
+        a.attempt_id
+        for t in rt.am.map_tasks + rt.am.reduce_tasks
+        for a in t.attempts
+        if a.process is not None and a.process.is_alive
+    ]
+    return {
+        "now": rt.sim.now,
+        "running_attempts": running,
+        "active_flows": [f.name for f in rt.cluster.flows.active_flows],
+        "vanished": sum(
+            1 for t in rt.am.map_tasks + rt.am.reduce_tasks
+            for a in t.attempts if a.state is AttemptState.VANISHED
+        ),
+    }

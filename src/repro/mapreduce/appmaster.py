@@ -69,6 +69,9 @@ class MRAppMaster:
         self.registry = MOFRegistry()
         self.active_reducers: list["ReduceAttempt"] = []
         self.fetch_failure_reports: dict[int, int] = {}
+        #: task_id -> commit record of the winning reduce attempt
+        #: (byte accounting the invariant checkers audit post-run).
+        self.reduce_commits: dict[int, dict] = {}
         self.completed_maps = 0
         self.committed_reduces = 0
         self.max_map_runtime = 10.0
@@ -79,6 +82,7 @@ class MRAppMaster:
         self.start_time = sim.now
 
         rm.node_lost_listeners.append(self._on_node_lost)
+        rm.node_rejoined_listeners.append(self._on_node_rejoined)
         policy.attach(self)
 
     # -- job start ----------------------------------------------------------
@@ -214,6 +218,14 @@ class MRAppMaster:
 
     def _reduce_succeeded(self, task: Task, attempt, result) -> None:
         self.committed_reduces += 1
+        result = result if isinstance(result, dict) else {}
+        self.reduce_commits[task.task_id] = {
+            "attempt": attempt.attempt_id,
+            "input_bytes": float(result.get("input_bytes", 0.0)),
+            "output_bytes": float(result.get("output_bytes", 0.0)),
+            "resume_fraction": float(getattr(attempt, "reduce_resume_fraction", 0.0)),
+            "mode": result.get("mode", "regular"),
+        }
         self.trace.log("reduce_commit", task=task.name, attempt=attempt.attempt_id)
         if self.committed_reduces >= self.num_reduces:
             self._finish(success=True)
@@ -276,6 +288,29 @@ class MRAppMaster:
         self.schedule_task(task, priority=priority if priority is not None
                            else self.conf.recovery_map_priority)
 
+    # -- task timeout -------------------------------------------------------
+    def on_attempt_vanished(self, attempt) -> None:
+        """An attempt died (or completed) into the void on an unreachable
+        node. If the RM later declares the node lost, the node-lost path
+        reschedules the task; but a partition that heals *before* the
+        liveness timeout leaves the RM none the wiser, and only this —
+        Hadoop's ``mapreduce.task.timeout`` — gets the task re-run."""
+        if self._finished:
+            return
+        self.sim.process(self._vanished_watch(attempt),
+                         name=f"task-timeout:{attempt.attempt_id}")
+
+    def _vanished_watch(self, attempt):
+        task = attempt.task
+        n_attempts = len(task.attempts)
+        yield self.sim.timeout(self.conf.task_timeout)
+        if (self._finished or task.is_finished
+                or attempt.state is not AttemptState.VANISHED
+                or len(task.attempts) != n_attempts
+                or task.outstanding_requests > 0):
+            return  # something else already rescheduled (or finished) it
+        self._attempt_failed(attempt, "task-timeout")
+
     # -- node loss ----------------------------------------------------------
     def tasks_running_on(self, node: Node) -> list[Task]:
         """Tasks whose latest attempt was running on ``node`` when it died."""
@@ -309,6 +344,12 @@ class MRAppMaster:
                                    attempt=a.attempt_id, type=task.task_type.value)
         self.policy.on_node_lost(node)
 
+    def _on_node_rejoined(self, node: Node) -> None:
+        if self._finished:
+            return
+        self.trace.log("node_rejoined", node=node.name)
+        self.policy.on_node_rejoined(node)
+
     # -- completion -----------------------------------------------------------
     def _finish(self, success: bool) -> None:
         if self._finished:
@@ -316,6 +357,12 @@ class MRAppMaster:
         self._finished = True
         self.trace.log("job_end", job=self.job_name, success=success)
         self.policy.on_job_finished()
+        # Real AMs tear down every container at unregistration. Without
+        # this, late map re-runs (MOF regeneration races) outlive the
+        # job holding containers — the no-orphans invariant's top find.
+        for task in self.map_tasks + self.reduce_tasks:
+            for attempt in task.running_attempts():
+                attempt.kill("job finished", discard=True)
         self.done.succeed({
             "success": success,
             "start_time": self.start_time,

@@ -67,6 +67,12 @@ class JobConf:
     slowstart_completed_maps: float = 0.05
     #: Attempts per task before the job fails.
     max_attempts: int = 4
+    #: The AM fails an attempt that has reported nothing for this long
+    #: (mapreduce.task.timeout). This is the only recovery path for an
+    #: attempt that dies inside a network partition shorter than the
+    #: RM's liveness timeout: the node is never declared lost, so no
+    #: node-lost rescheduling ever fires.
+    task_timeout: float = 600.0
     #: Container request priorities (lower wins). Hadoop order:
     #: fast-fail/recovery maps > reduces > normal maps.
     map_priority: float = 20.0
@@ -96,6 +102,8 @@ class JobConf:
                 raise SimulationError(f"fraction {frac} out of (0, 1]")
         if self.max_attempts < 1:
             raise SimulationError("max_attempts must be >= 1")
+        if self.task_timeout <= 0:
+            raise SimulationError("task_timeout must be > 0")
         if self.fetch_retries_per_host < 1:
             raise SimulationError("fetch_retries_per_host must be >= 1")
 

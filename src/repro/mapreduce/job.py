@@ -21,7 +21,12 @@ from repro.sim.core import SimulationError, Simulator
 from repro.workloads import Workload
 from repro.yarn.rm import ResourceManager, YarnConfig
 
-__all__ = ["JobResult", "MapReduceRuntime", "run_job"]
+__all__ = ["JobResult", "MapReduceRuntime", "StallError", "run_job"]
+
+
+class StallError(SimulationError):
+    """The stall watchdog declared the simulation wedged: neither the
+    event loop nor job progress moved for a full stall window."""
 
 
 @dataclass
@@ -72,6 +77,8 @@ class MapReduceRuntime:
         self.hdfs.datanodes = list(self.workers)
         self.rm = ResourceManager(self.sim, self.cluster, yarn_config or YarnConfig(),
                                   worker_nodes=self.workers)
+        # Healed/restarted nodes re-register with the RM (fresh NM).
+        self.cluster.rejoin_listeners.append(self.rm.register_node)
         self.conf = conf or JobConf()
         self.workload = workload
         self.policy = policy or YarnRecoveryPolicy()
@@ -96,13 +103,34 @@ class MapReduceRuntime:
         self.sampler.add_probe("failed_reduce_attempts",
                                lambda: float(self.am.failed_reduce_attempts()))
 
-    def run(self, timeout: float = 100_000.0) -> JobResult:
-        """Run the job to completion (or ``timeout``) and summarise."""
+    def run(self, timeout: float = 100_000.0,
+            stall_timeout: float | None = 2_000.0) -> JobResult:
+        """Run the job to completion and summarise.
+
+        A watchdog guards the two ways a buggy schedule can hang the
+        simulation: ``timeout`` is a hard ceiling on simulated time, and
+        ``stall_timeout`` fails the run if *nothing observable* (trace
+        events, task counters, phase progress, flow bytes) changes for
+        that long — the event loop may still be ticking heartbeats, but
+        the job is wedged. A stalled run returns a failed
+        :class:`JobResult` with ``counters["stalled"]`` set instead of
+        simulating forever. ``stall_timeout=None`` disables the
+        freeze check (the hard ceiling still applies).
+        """
         self.sampler.start()
         if self.speculator is not None:
             self.speculator.start()
         self.am.start()
-        outcome = self.sim.run(until=self.am.done)
+        self._stall_reason: str | None = None
+        self.sim.process(self._watchdog(timeout, stall_timeout), name="stall-watchdog")
+        try:
+            outcome = self.sim.run(until=self.am.done)
+        except StallError:
+            outcome = {
+                "success": False,
+                "start_time": self.am.start_time,
+                "end_time": self.sim.now,
+            }
         self.sampler.stop()
         if outcome is None:
             raise SimulationError("job did not complete (ran out of events)")
@@ -116,6 +144,9 @@ class MapReduceRuntime:
             "fetch_failure_reports": len(self.trace.of_kind("fetch_failure_report")),
             "map_locality": self.am.map_locality_counts(),
         }
+        if self._stall_reason is not None:
+            counters["stalled"] = True
+            counters["stall_reason"] = self._stall_reason
         return JobResult(
             job_name=self.job_name,
             workload=self.workload.name,
@@ -126,6 +157,46 @@ class MapReduceRuntime:
             trace=self.trace,
             counters=counters,
         )
+
+    # -- stall watchdog -----------------------------------------------------
+    def _activity_snapshot(self) -> tuple:
+        """Everything that moves when the job is making progress. Flow
+        byte counts make long single transfers register as activity even
+        though they schedule no events while in flight."""
+        moved = sum(f.transferred for f in self.cluster.flows.active_flows)
+        return (
+            len(self.trace.events),
+            self.am.completed_maps,
+            self.am.committed_reduces,
+            round(self.am.map_phase_progress(), 9),
+            round(self.am.reduce_phase_progress(), 9),
+            len(self.cluster.flows.active_flows),
+            round(moved, 3),
+        )
+
+    def _watchdog(self, timeout: float | None, stall_timeout: float | None):
+        check = max(1.0, min((stall_timeout or 2_000.0) / 4.0, 50.0))
+        last = self._activity_snapshot()
+        last_change = self.sim.now
+        while not self.am._finished:
+            yield self.sim.timeout(check)
+            if self.am._finished:
+                return
+            if timeout is not None and self.sim.now >= timeout:
+                self._declare_stall(f"exceeded hard timeout of {timeout:g}s")
+            snap = self._activity_snapshot()
+            if snap != last:
+                last = snap
+                last_change = self.sim.now
+            elif (stall_timeout is not None
+                  and self.sim.now - last_change >= stall_timeout):
+                self._declare_stall(
+                    f"no observable progress for {self.sim.now - last_change:g}s")
+
+    def _declare_stall(self, reason: str) -> None:
+        self._stall_reason = reason
+        self.trace.log("stall_detected", reason=reason)
+        raise StallError(f"{self.job_name}: {reason}")
 
 
 def run_job(

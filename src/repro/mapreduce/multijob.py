@@ -75,6 +75,7 @@ class SharedCluster:
         self.rm = ResourceManager(self.sim, self.cluster,
                                   yarn_config or YarnConfig(),
                                   worker_nodes=self.workers)
+        self.cluster.rejoin_listeners.append(self.rm.register_node)
         self.sample_interval = sample_interval
         self.jobs: list[JobHandle] = []
         self._ran = False

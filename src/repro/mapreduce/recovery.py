@@ -46,6 +46,11 @@ class RecoveryPolicy:
         """A reducer reported it cannot fetch ``map_task``'s output."""
         raise NotImplementedError
 
+    def on_node_rejoined(self, node: Node) -> None:
+        """A lost node restarted/healed and re-registered with the RM.
+        Default: nothing — rejoined nodes are simply schedulable again.
+        """
+
     def on_fetch_giveup(self, attempt: "ReduceAttempt", host: Node, map_ids: list[int]) -> str:
         """A fetch round against ``host`` was abandoned. Return
         ``"report"`` to count/report the failure (stock YARN) or

@@ -464,6 +464,9 @@ class ReduceAttempt(TaskAttempt):
                     self.node, out_path, out_bytes,
                     replication=repl, level=level, overwrite=True,
                 )
+            # Register the write as a child so a killed attempt tears the
+            # pipeline down instead of leaving an orphaned HDFS write.
+            self._children.append(writer)
             waits.append(writer)
         if waits:
             yield from self._step(self.sim.all_of(waits))

@@ -168,17 +168,23 @@ class TaskAttempt:
             self.end_time = self.sim.now
             if self.state is AttemptState.RUNNING:
                 self._classify_failure(exc)
+                if self.state is AttemptState.VANISHED:
+                    self.am.on_attempt_vanished(self)
             elif not isinstance(exc, (Interrupt, TaskFailed, FlowCancelled,
                                       SimulationError, HdfsError, ContainerKilled)):
                 raise exc
+            self._release_if_unreported()
             return
         self._cleanup()
         self.end_time = self.sim.now
         if self.state is not AttemptState.RUNNING:
+            self._release_if_unreported()
             return  # already adjudicated (e.g. marked KILLED at node loss)
         if not self.node.reachable:
             # Completed into the void: nobody heard about it.
             self.state = AttemptState.VANISHED
+            self.am.on_attempt_vanished(self)
+            self._release_if_unreported()
             return
         self.state = AttemptState.SUCCEEDED
         self.am._attempt_succeeded(self, result)
@@ -205,6 +211,16 @@ class TaskAttempt:
         else:
             reason = type(exc).__name__
         self.am._attempt_failed(self, reason)
+
+    def _release_if_unreported(self) -> None:
+        """KILLED and VANISHED attempts never reach
+        ``_attempt_succeeded``/``_attempt_failed`` — the normal
+        container-release sites — so without this their containers
+        leak NM memory forever (caught by the containers-released
+        invariant). Release is idempotent, so the paths where the RM
+        already killed the container (node lost) are unaffected."""
+        if self.state in (AttemptState.KILLED, AttemptState.VANISHED):
+            self.am.rm.release_container(self.container)
 
     def _cleanup(self) -> None:
         for child in self._children:

@@ -49,12 +49,28 @@ class Trace:
         self.events: list[TraceEvent] = []
         self.series: dict[str, list[tuple[float, float]]] = {}
         self._by_kind: dict[str, list[TraceEvent]] = {}
+        self._listeners: dict[str, list[Any]] = {}
 
     # -- events -----------------------------------------------------------
     def log(self, kind: str, **data: Any) -> None:
         event = TraceEvent(self.sim.now, kind, data)
         self.events.append(event)
         self._by_kind.setdefault(kind, []).append(event)
+        for fn in list(self._listeners.get(kind, ())):
+            fn(event)
+
+    def subscribe(self, kind: str, fn) -> None:
+        """Call ``fn(event)`` synchronously on every future ``kind``
+        event. This is what lets fault triggers key on trace events
+        ("second crash 10 s after the first node_lost") without
+        polling: the listener fires at the exact log instant, so
+        event-triggered faults stay deterministic."""
+        self._listeners.setdefault(kind, []).append(fn)
+
+    def unsubscribe(self, kind: str, fn) -> None:
+        bucket = self._listeners.get(kind)
+        if bucket and fn in bucket:
+            bucket.remove(fn)
 
     def of_kind(self, kind: str) -> list[TraceEvent]:
         return list(self._by_kind.get(kind, ()))

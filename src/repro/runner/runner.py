@@ -235,9 +235,29 @@ class TrialRunner:
                 results[seed] = result
 
         ordered = [results[s] for s in seeds]
+        self._check_invariant_payloads(experiment, ordered)
         if self.verify and ordered:
             self._verify_first(experiment, fn, kwargs, ordered[0])
         return ordered
+
+    @staticmethod
+    def _check_invariant_payloads(experiment: str, results: list["TrialResult"]) -> None:
+        """Trials run under ``REPRO_INVARIANTS=1`` carry their post-run
+        invariant violations in the payload (see
+        :func:`repro.experiments.common.run_benchmark_trial`); surface
+        any as a hard failure so a quietly-corrupted experiment cannot
+        average its way into a figure. (The chaos campaign collects its
+        findings under a different key — it must observe violations,
+        not die on the first one.)"""
+        failing = [
+            (r.seed, v) for r in results
+            for v in (r.payload.get("invariant_violations") or ())
+        ]
+        if failing:
+            from repro.invariants import InvariantViolation
+
+            raise InvariantViolation(
+                [f"{experiment} seed {seed}: {v}" for seed, v in failing])
 
     # -- execution ----------------------------------------------------------
     def _run_one(self, experiment: str, fn: Callable, seed: int,

@@ -158,6 +158,8 @@ class ResourceManager:
         self._seq = itertools.count()
         #: Listeners invoked as fn(node) when the RM declares a node lost.
         self.node_lost_listeners: list = []
+        #: Listeners invoked as fn(node) when a lost node re-registers.
+        self.node_rejoined_listeners: list = []
         self._lost_nodes: set[int] = set()
         for nm in self.node_managers.values():
             sim.process(self._heartbeat_loop(nm), name=f"hb:{nm.node.name}")
@@ -211,6 +213,30 @@ class ResourceManager:
 
     def is_lost(self, node: Node) -> bool:
         return node.node_id in self._lost_nodes
+
+    def register_node(self, node: Node) -> None:
+        """NM (re-)registration after a restart or partition heal.
+
+        A lost NodeManager is terminal (its heartbeat loop has exited
+        and its containers were killed), so rejoining builds a *fresh*
+        NM with empty capacity accounting — exactly what a restarted NM
+        daemon reports. If the partition healed before the liveness
+        timeout expired, the old NM is still valid and only its
+        heartbeat clock needs resetting.
+        """
+        old = self.node_managers.get(node.node_id)
+        if old is None or not node.reachable:
+            return  # not one of our workers, or still unreachable
+        if not old.lost:
+            old.last_heartbeat = self.sim.now
+            return
+        nm = NodeManager(node, self.config, self.sim)
+        self.node_managers[node.node_id] = nm
+        self._lost_nodes.discard(node.node_id)
+        self.sim.process(self._heartbeat_loop(nm), name=f"hb:{node.name}")
+        for fn in list(self.node_rejoined_listeners):
+            fn(node)
+        self._match()
 
     # -- scheduler core -----------------------------------------------------
     def _usable(self, nm: NodeManager, req: _PendingRequest) -> bool:
@@ -291,7 +317,13 @@ class ResourceManager:
             if container.alive and container.node.alive and container.node.reachable:
                 req.grant.succeed(container)
             else:
-                # Node died during handout: transparently retry.
+                # Node died during handout: free the stranded allocation
+                # first — a short partition can heal before the liveness
+                # timeout, so the node-lost kill_all cannot be relied on
+                # to reclaim it — then transparently retry.
+                nm = self.node_managers.get(container.node.node_id)
+                if nm is not None:
+                    nm.release(container)
                 self._pending.append(
                     _PendingRequest(
                         req.priority, next(self._seq), req.memory_mb,

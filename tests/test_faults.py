@@ -3,8 +3,13 @@
 import pytest
 
 from repro.faults import (
+    EventTrigger,
     FaultInjector,
+    MapWaveFault,
     NodeFault,
+    PartitionFault,
+    RackFault,
+    SlowNodeFault,
     TaskFault,
     kill_maps_at_time,
     kill_node_at_progress,
@@ -106,3 +111,83 @@ class TestFaultInjector:
         res = rt.run()
         assert res.success
         assert res.counters["failed_reduce_attempts"] == 2
+
+
+class TestConstructValidation:
+    """Every fault rejects bad parameters at install time, naming the
+    offending field — a bad chaos schedule must fail loudly, not 2000
+    simulated seconds into a campaign."""
+
+    def test_task_fault_fields(self):
+        rt = make_runtime()
+        with pytest.raises(SimulationError, match="TaskFault.repeat"):
+            TaskFault(TaskType.REDUCE, 0, 0.5, repeat=0).install(rt)
+        with pytest.raises(SimulationError, match="TaskFault.task_index"):
+            TaskFault(TaskType.REDUCE, -1, 0.5).install(rt)
+        with pytest.raises(SimulationError, match="TaskFault.task_index"):
+            TaskFault(TaskType.REDUCE, 99, 0.5).install(rt)
+        with pytest.raises(SimulationError, match="TaskFault.at_progress"):
+            TaskFault(TaskType.REDUCE, 0, -0.1).install(rt)
+
+    def test_node_fault_fields(self):
+        rt = make_runtime()
+        with pytest.raises(SimulationError, match="NodeFault.duration"):
+            NodeFault(target=0, at_time=1.0, duration=0.0).install(rt)
+        with pytest.raises(SimulationError, match="NodeFault.target"):
+            NodeFault(target=99, at_time=1.0).install(rt)
+        with pytest.raises(SimulationError, match="NodeFault.target"):
+            NodeFault(target="mapper", at_time=1.0).install(rt)
+        with pytest.raises(SimulationError, match="NodeFault.at_time"):
+            NodeFault(target=0, at_time=-1.0).install(rt)
+        # An `after` trigger counts as a trigger: combining it with
+        # at_time is ambiguous and rejected.
+        with pytest.raises(SimulationError, match="exactly one trigger"):
+            NodeFault(target=0, at_time=1.0,
+                      after=EventTrigger("node_lost")).install(rt)
+
+    def test_event_trigger_fields(self):
+        rt = make_runtime()
+        with pytest.raises(SimulationError, match="after.delay"):
+            NodeFault(target=0, after=EventTrigger("node_lost", delay=-1.0)).install(rt)
+        with pytest.raises(SimulationError, match="after.occurrence"):
+            NodeFault(target=0, after=EventTrigger("node_lost", occurrence=0)).install(rt)
+        with pytest.raises(SimulationError, match="after.kind"):
+            NodeFault(target=0, after=EventTrigger("")).install(rt)
+
+    def test_rack_fault_fields(self):
+        rt = make_runtime()  # 2 racks
+        with pytest.raises(SimulationError, match="RackFault.rack_index"):
+            RackFault(rack_index=5, at_time=1.0).install(rt)
+        with pytest.raises(SimulationError, match="RackFault.count"):
+            RackFault(rack_index=0, count=0, at_time=1.0).install(rt)
+        with pytest.raises(SimulationError, match="RackFault.mode"):
+            RackFault(rack_index=0, at_time=1.0, mode="flood").install(rt)
+        with pytest.raises(SimulationError, match="RackFault.stagger"):
+            RackFault(rack_index=0, at_time=1.0, stagger=-1.0).install(rt)
+
+    def test_partition_fault_fields(self):
+        rt = make_runtime()
+        with pytest.raises(SimulationError, match="PartitionFault.node_indices"):
+            PartitionFault(node_indices=(), at_time=1.0).install(rt)
+        with pytest.raises(SimulationError, match="PartitionFault.node_indices"):
+            PartitionFault(node_indices=(99,), at_time=1.0).install(rt)
+        with pytest.raises(SimulationError, match="PartitionFault.duration"):
+            PartitionFault(node_indices=(0,), at_time=1.0, duration=0.0).install(rt)
+
+    def test_map_wave_fields(self):
+        rt = make_runtime()
+        with pytest.raises(SimulationError, match="MapWaveFault.count"):
+            MapWaveFault(count=0, at_time=1.0).install(rt)
+        with pytest.raises(SimulationError, match="MapWaveFault.at_time"):
+            MapWaveFault(count=1, at_time=-1.0).install(rt)
+
+    def test_slow_node_fields(self):
+        rt = make_runtime()
+        with pytest.raises(SimulationError, match="SlowNodeFault.disk_factor"):
+            SlowNodeFault(node_index=0, at_time=1.0, disk_factor=0.0).install(rt)
+        with pytest.raises(SimulationError, match="SlowNodeFault.nic_factor"):
+            SlowNodeFault(node_index=0, at_time=1.0, nic_factor=1.5).install(rt)
+        with pytest.raises(SimulationError, match="SlowNodeFault.at_time"):
+            SlowNodeFault(node_index=0, at_time=-1.0).install(rt)
+        with pytest.raises(SimulationError, match="SlowNodeFault.node_index"):
+            SlowNodeFault(node_index=99, at_time=1.0).install(rt)
