@@ -1,0 +1,182 @@
+"""DES-kernel throughput: the pooled/batched hot path vs the
+pre-overhaul reference kernel (``REPRO_KERNEL=reference``).
+
+The scenario is the kernel's steady-state diet at scale — the
+heartbeat+sampler workload that dominates ``REPRO_PROFILE`` runs once
+the flow scheduler is fast: ``n`` node-manager heartbeats ticking every
+simulated second (the ``pure`` periodic path), a progress sampler
+recording cluster series into a :class:`Trace` every five seconds, and
+a mid-run node-loss storm that stops 1% of the heartbeats (exercising
+periodic shutdown and trace logging). The same workload runs under both
+kernels; the speedup is only admissible because the trace digests are
+byte-identical — same events, same series, same ordering.
+
+Throughput is *model events per wall second*: every scheduled kernel
+event (heartbeat ticks, sampler wakeups, fault timers) as counted by
+the event sequence counter. Each (kernel, scale) cell is the best of
+``REPEATS`` runs so a noisy core doesn't publish a phantom regression.
+
+Numbers land in ``BENCH_kernel.json`` at the repo root; the acceptance
+bar is >=3x events/sec at 1024 nodes with identical digests. ``--smoke``
+(script mode, used by CI) runs the 32-node equivalence check only,
+without touching the JSON.
+"""
+
+import argparse
+import json
+import os
+import sys
+import time
+from pathlib import Path
+
+from repro.metrics.trace import ProgressSampler, Trace
+from repro.sim.core import Simulator
+
+NODE_COUNTS = [64, 256, 1024]
+HORIZON = 600.0
+HEARTBEAT_INTERVAL = 1.0
+SAMPLE_INTERVAL = 5.0
+REPEATS = 3
+
+
+class _NodeManager:
+    """Heartbeat bookkeeping, shaped like ``yarn.rm`` node state."""
+
+    __slots__ = ("name", "last_heartbeat", "lost")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.last_heartbeat = 0.0
+        self.lost = False
+
+
+def _heartbeat(sim: Simulator, nm: _NodeManager):
+    def tick():
+        if nm.lost:
+            return False
+        nm.last_heartbeat = sim._now
+
+    return tick
+
+
+def _node_loss_storm(sim: Simulator, trace: Trace, nms, at: float, count: int):
+    yield sim.timeout(at)
+    for nm in nms[:count]:
+        nm.lost = True
+        trace.log("node_lost", node=nm.name, at=sim.now)
+
+
+def run_workload(kernel: str, nodes: int, horizon: float = HORIZON) -> dict:
+    """One heartbeat+sampler run under the named kernel."""
+    previous = os.environ.get("REPRO_KERNEL")
+    if kernel == "reference":
+        os.environ["REPRO_KERNEL"] = "reference"
+    else:
+        os.environ.pop("REPRO_KERNEL", None)
+    try:
+        sim = Simulator()
+        trace = Trace(sim)
+        nms = [_NodeManager(f"node{i}") for i in range(nodes)]
+        t0 = time.perf_counter()
+        for nm in nms:
+            # pure: the tick only stamps last_heartbeat — never schedules.
+            sim.periodic(HEARTBEAT_INTERVAL, _heartbeat(sim, nm),
+                         pure=True, name=f"hb:{nm.name}")
+        sampler = ProgressSampler(sim, trace, interval=SAMPLE_INTERVAL)
+        sampler.add_probe("live_nodes",
+                          lambda: sum(not nm.lost for nm in nms))
+        sampler.add_probe("heartbeat_lag",
+                          lambda: sim.now - min(nm.last_heartbeat for nm in nms))
+        sampler.start()
+        sim.process(_node_loss_storm(sim, trace, nms, at=horizon / 2,
+                                     count=max(1, nodes // 100)),
+                    name="loss-storm")
+        sim.run(until=horizon)
+        wall = time.perf_counter() - t0
+    finally:
+        if previous is None:
+            os.environ.pop("REPRO_KERNEL", None)
+        else:
+            os.environ["REPRO_KERNEL"] = previous
+    events = sim._seq
+    return {
+        "kernel": kernel,
+        "model_events": events,
+        "wall_seconds": wall,
+        "events_per_sec": events / max(wall, 1e-9),
+        "digest": trace.digest(),
+        "trace_events": len(trace.events),
+        "series_points": sum(len(p) for p in trace.series.values()),
+    }
+
+
+def _best_of(kernel: str, nodes: int, horizon: float, repeats: int) -> dict:
+    runs = [run_workload(kernel, nodes, horizon) for _ in range(repeats)]
+    digests = {r["digest"] for r in runs}
+    assert len(digests) == 1, f"{kernel} kernel is not deterministic: {digests}"
+    return min(runs, key=lambda r: r["wall_seconds"])
+
+
+def compare_kernels(nodes: int, horizon: float = HORIZON,
+                    repeats: int = REPEATS) -> dict:
+    ref = _best_of("reference", nodes, horizon, repeats)
+    new = _best_of("pooled", nodes, horizon, repeats)
+    # Byte-identical digests: same trace events, same sampled series,
+    # same ordering. The speedup is inadmissible without this.
+    assert new["digest"] == ref["digest"], (nodes, ref, new)
+    assert new["trace_events"] == ref["trace_events"], (nodes, ref, new)
+    assert new["series_points"] == ref["series_points"], (nodes, ref, new)
+    return {
+        "nodes": nodes,
+        "horizon": horizon,
+        "identical_digests": True,
+        "reference": {k: (round(v, 4) if isinstance(v, float) else v)
+                      for k, v in ref.items() if k != "digest"},
+        "pooled": {k: (round(v, 4) if isinstance(v, float) else v)
+                   for k, v in new.items() if k != "digest"},
+        "events_per_sec_speedup": round(
+            new["events_per_sec"] / max(ref["events_per_sec"], 1e-9), 2),
+    }
+
+
+def test_kernel_throughput(report):
+    rows = [compare_kernels(nodes) for nodes in NODE_COUNTS]
+
+    payload = {
+        "heartbeat_interval": HEARTBEAT_INTERVAL,
+        "sample_interval": SAMPLE_INTERVAL,
+        "repeats": REPEATS,
+        "identical_digests": all(r["identical_digests"] for r in rows),
+        "sweep": rows,
+    }
+    out = Path(__file__).resolve().parents[1] / "BENCH_kernel.json"
+    out.write_text(json.dumps(payload, indent=2) + "\n")
+
+    report("DES kernel — pooled/batched hot path vs reference kernel",
+           json.dumps(payload, indent=2))
+
+    # Acceptance: >=3x model-events/sec on the 1024-node workload.
+    big = rows[-1]
+    assert big["nodes"] == 1024
+    assert big["events_per_sec_speedup"] >= 3.0, big
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="32-node digest-equivalence check only (CI); "
+                             "no BENCH_kernel.json update")
+    args = parser.parse_args(argv)
+    if args.smoke:
+        row = compare_kernels(nodes=32, horizon=120.0, repeats=1)
+        print(f"smoke ok: digests identical across kernels, "
+              f"events/sec speedup {row['events_per_sec_speedup']}x "
+              f"({row['pooled']['model_events']} events)")
+        return 0
+    for nodes in NODE_COUNTS:
+        print(json.dumps(compare_kernels(nodes), indent=2))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

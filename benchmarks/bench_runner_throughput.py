@@ -8,6 +8,13 @@ processes, and (c) twice against a trial cache (cold, then warm).
 Per-seed trace digests must be bit-identical across all modes — the
 speedup must never come at the cost of determinism.
 
+On a single-core host process fan-out cannot beat the clock, and the
+runner auto-selects serial execution there (``REPRO_FORCE_PARALLEL=1``
+overrides, which is what the parallel-equivalence *test* uses). This
+bench therefore measures the fan-out only when real cores exist, and
+otherwise records *why* no parallel number is published instead of
+publishing a slowdown as if it were a result.
+
 Numbers land in ``BENCH_runner.json`` at the repo root. The >=2x
 acceptance bar applies to the best available accelerator: process
 fan-out on multi-core hosts, cache hits everywhere (a warm cache skips
@@ -43,20 +50,42 @@ def _timed_run(jobs: int, cache_dir=None):
 
 def test_runner_throughput(report, tmp_path):
     jobs = max(2, int(os.environ.get("REPRO_JOBS", "4") or 4))
+    cores = os.cpu_count() or 1
 
     serial_s, serial_res = _timed_run(jobs=1)
-    shutdown_pools()  # first parallel run pays the full pool spawn cost
-    parallel_s, parallel_res = _timed_run(jobs=jobs)
-    # Second fan-out reuses the cached worker pool: this is the
-    # per-sweep-step cost an experiment driver actually pays.
-    parallel_warm_s, parallel_warm_res = _timed_run(jobs=jobs)
-
-    # Determinism: the parallel fan-out reproduces the serial digests
-    # bit-for-bit, seed by seed.
     serial_digests = [r.payload["digest"] for r in serial_res]
-    parallel_digests = [r.payload["digest"] for r in parallel_res]
-    assert serial_digests == parallel_digests
-    assert [r.payload["digest"] for r in parallel_warm_res] == serial_digests
+
+    parallel_fields: dict
+    if cores > 1:
+        shutdown_pools()  # first parallel run pays the full pool spawn cost
+        parallel_s, parallel_res = _timed_run(jobs=jobs)
+        # Second fan-out reuses the cached worker pool: this is the
+        # per-sweep-step cost an experiment driver actually pays.
+        parallel_warm_s, parallel_warm_res = _timed_run(jobs=jobs)
+
+        # Determinism: the parallel fan-out reproduces the serial
+        # digests bit-for-bit, seed by seed.
+        assert [r.payload["digest"] for r in parallel_res] == serial_digests
+        assert [r.payload["digest"] for r in parallel_warm_res] == serial_digests
+
+        parallel_speedup = serial_s / max(parallel_s, 1e-9)
+        parallel_fields = {
+            "parallel_seconds": round(parallel_s, 3),
+            "parallel_warm_seconds": round(parallel_warm_s, 3),
+            "parallel_speedup": round(parallel_speedup, 2),
+            "pool_reuse_speedup": round(parallel_s / max(parallel_warm_s, 1e-9), 2),
+            "digests_identical": True,
+        }
+    else:
+        parallel_speedup = None
+        parallel_fields = {
+            "parallel_speedup": None,
+            "parallel_skipped_reason": (
+                "single-core host: process fan-out cannot beat the clock, "
+                "runner auto-selects serial (REPRO_FORCE_PARALLEL=1 overrides; "
+                "parallel-vs-serial digest equivalence is covered by "
+                "tests/test_runner.py)"),
+        }
 
     cache_dir = tmp_path / "trials"
     cold_s, cold_res = _timed_run(jobs=1, cache_dir=cache_dir)
@@ -65,9 +94,7 @@ def test_runner_throughput(report, tmp_path):
     assert all(r.cached for r in warm_res)
     assert [r.payload["digest"] for r in warm_res] == serial_digests
 
-    parallel_speedup = serial_s / max(parallel_s, 1e-9)
     cache_speedup = cold_s / max(warm_s, 1e-9)
-    cores = os.cpu_count() or 1
 
     payload = {
         "trials": len(SEEDS),
@@ -75,24 +102,24 @@ def test_runner_throughput(report, tmp_path):
         "cores": cores,
         "jobs": jobs,
         "serial_seconds": round(serial_s, 3),
-        "parallel_seconds": round(parallel_s, 3),
-        "parallel_warm_seconds": round(parallel_warm_s, 3),
-        "parallel_speedup": round(parallel_speedup, 2),
-        "pool_reuse_speedup": round(parallel_s / max(parallel_warm_s, 1e-9), 2),
+        **parallel_fields,
         "cache_cold_seconds": round(cold_s, 3),
         "cache_warm_seconds": round(warm_s, 3),
         "cache_speedup": round(cache_speedup, 2),
-        "digests_identical": serial_digests == parallel_digests,
     }
     out = Path(__file__).resolve().parents[1] / "BENCH_runner.json"
     out.write_text(json.dumps(payload, indent=2) + "\n")
 
     report("Runner throughput — parallel fan-out + trial cache", json.dumps(payload, indent=2))
+    if parallel_speedup is None:
+        print(f"parallel-speedup assertion skipped: "
+              f"{parallel_fields['parallel_skipped_reason']}")
 
     # The best accelerator must buy at least 2x over serial execution.
     # On single-core hosts process fan-out cannot beat the clock, so the
     # memoized path carries the bar there; on multi-core hosts the
     # fan-out itself is expected to clear it.
-    assert max(parallel_speedup, cache_speedup) >= 2.0, payload
+    best = max(filter(None, (parallel_speedup, cache_speedup)))
+    assert best >= 2.0, payload
     if cores >= 2 * jobs:  # plenty of headroom: fan-out itself must win
         assert parallel_speedup >= 2.0, payload

@@ -9,12 +9,29 @@ Queries are backed by a per-kind index maintained on ``log``: the hot
 paths (``of_kind``/``count``/``first``/``last``/``times``) touch only
 the events of the requested kind instead of scanning the whole log,
 which matters once the runner fans out thousands of trials.
+
+Recording is on the simulation hot path (one ``log`` call per flow
+completion, heartbeat decision, attempt transition, ...), so it is
+built lean: ``TraceEvent`` is a ``__slots__`` class, the no-listener
+case appends without copying any listener list, and the determinism
+digest is maintained incrementally as events are recorded (see
+:meth:`Trace.digest`) instead of JSON-encoding the whole trace at trial
+end.
+
+``REPRO_TRACE_COUNT_ONLY=kindA,kindB`` switches the named kinds to
+count-only recording: ``count(kind)`` and ``summary()`` still see them,
+but no per-event object is stored (and they drop out of exports and
+digests, which is why the knob defaults to unset — full fidelity).
+Listeners still fire for count-only kinds, so event-triggered faults
+keep working.
 """
 
 from __future__ import annotations
 
+import hashlib
+import json
+import os
 from collections import deque
-from dataclasses import dataclass
 from typing import Any, Iterable
 
 from repro.sim.core import Simulator
@@ -22,18 +39,45 @@ from repro.sim.core import Simulator
 __all__ = ["ProgressSampler", "Trace", "TraceEvent", "phase_durations"]
 
 
-@dataclass(frozen=True)
 class TraceEvent:
-    time: float
-    kind: str
-    data: dict[str, Any]
+    """One logged occurrence: ``(time, kind, data)``.
+
+    A ``__slots__`` value class (not a dataclass): traces hold hundreds
+    of thousands of these per trial, so no per-instance ``__dict__``.
+    """
+
+    __slots__ = ("time", "kind", "data")
+
+    def __init__(self, time: float, kind: str, data: dict[str, Any]) -> None:
+        self.time = time
+        self.kind = kind
+        self.data = data
 
     def __getitem__(self, key: str) -> Any:
         return self.data[key]
 
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, TraceEvent):
+            return NotImplemented
+        return (self.time, self.kind, self.data) == (other.time, other.kind, other.data)
+
+    def __repr__(self) -> str:
+        return f"TraceEvent(time={self.time!r}, kind={self.kind!r}, data={self.data!r})"
+
 
 def _matches(event: TraceEvent, match: dict[str, Any]) -> bool:
     return all(event.data.get(k) == v for k, v in match.items())
+
+
+def _count_only_kinds() -> frozenset[str]:
+    raw = os.environ.get("REPRO_TRACE_COUNT_ONLY", "")
+    return frozenset(k.strip() for k in raw.split(",") if k.strip())
+
+
+#: json.dumps kwargs shared by the incremental digest and the legacy
+#: whole-trace path in ``repro.runner`` — both must produce identical
+#: bytes for identical traces.
+_DUMPS_KW = dict(sort_keys=True, separators=(",", ":"), default=str)
 
 
 class Trace:
@@ -50,14 +94,62 @@ class Trace:
         self.series: dict[str, list[tuple[float, float]]] = {}
         self._by_kind: dict[str, list[TraceEvent]] = {}
         self._listeners: dict[str, list[Any]] = {}
+        self._count_only = _count_only_kinds()
+        self._suppressed: dict[str, int] = {}
+        # Incremental digest state: every recorded event is hashed here
+        # as it lands, byte-compatible with json.dumps of the whole
+        # {"events": [...], "series": {...}} document (see digest()).
+        self._hasher = hashlib.sha256(b'{"events":[')
+        self._first_hashed = True
 
     # -- events -----------------------------------------------------------
     def log(self, kind: str, **data: Any) -> None:
+        listeners = self._listeners.get(kind)
+        if kind in self._count_only:
+            self._suppressed[kind] = self._suppressed.get(kind, 0) + 1
+            if listeners:
+                event = TraceEvent(self.sim.now, kind, data)
+                for fn in list(listeners):
+                    fn(event)
+            return
         event = TraceEvent(self.sim.now, kind, data)
         self.events.append(event)
-        self._by_kind.setdefault(kind, []).append(event)
-        for fn in list(self._listeners.get(kind, ())):
-            fn(event)
+        bucket = self._by_kind.get(kind)
+        if bucket is None:
+            bucket = self._by_kind[kind] = []
+        bucket.append(event)
+        self._hash_event(event)
+        if listeners:
+            for fn in list(listeners):
+                fn(event)
+
+    def _hash_event(self, event: TraceEvent) -> None:
+        # Coercion must mirror repro.metrics.export._jsonable exactly:
+        # the digest is defined over the exported record shape.
+        record = {"time": event.time, "kind": event.kind}
+        for k, v in event.data.items():
+            record[k] = v if isinstance(v, (str, int, float, bool)) or v is None else str(v)
+        if self._first_hashed:
+            self._first_hashed = False
+        else:
+            self._hasher.update(b",")
+        self._hasher.update(json.dumps(record, **_DUMPS_KW).encode())
+
+    def digest(self) -> str:
+        """Determinism digest of everything recorded so far.
+
+        Byte-identical to hashing ``json.dumps({"events": trace_records
+        (self), "series": self.series}, sort_keys=True, separators=
+        (",", ":"), default=str)`` — the pre-streaming definition — but
+        events were already hashed when logged, so only the (small)
+        series dict is encoded here. Cheap to call repeatedly: the
+        event hasher is cloned, never consumed.
+        """
+        h = self._hasher.copy()
+        h.update(b'],"series":')
+        h.update(json.dumps(self.series, **_DUMPS_KW).encode())
+        h.update(b"}")
+        return h.hexdigest()
 
     def subscribe(self, kind: str, fn) -> None:
         """Call ``fn(event)`` synchronously on every future ``kind``
@@ -76,6 +168,8 @@ class Trace:
         return list(self._by_kind.get(kind, ()))
 
     def count(self, kind: str, **match: Any) -> int:
+        if not match and kind in self._suppressed:
+            return self._suppressed[kind]
         bucket = self._by_kind.get(kind, ())
         if not match:
             return len(bucket)
@@ -107,10 +201,14 @@ class Trace:
     def summary(self) -> dict[str, Any]:
         """Cheap aggregate view: per-kind counts, series lengths and the
         event time span — no per-event detail, safe to ship across
-        process boundaries or into JSON."""
+        process boundaries or into JSON. Count-only kinds appear in
+        ``kinds`` (that is the point of keeping their counts) but do not
+        contribute to ``events`` or the time span."""
+        kinds = {kind: len(bucket) for kind, bucket in self._by_kind.items()}
+        kinds.update(self._suppressed)
         return {
             "events": len(self.events),
-            "kinds": {kind: len(bucket) for kind, bucket in self._by_kind.items()},
+            "kinds": kinds,
             "series": {name: len(points) for name, points in self.series.items()},
             "first_time": self.events[0].time if self.events else None,
             "last_time": self.events[-1].time if self.events else None,
@@ -121,10 +219,11 @@ class ProgressSampler:
     """Periodically samples callables into trace series (e.g. the reduce
     progress curves plotted in Figs. 3, 4 and 10).
 
-    A stop→start cycle must hand over cleanly: the old loop may still be
-    suspended on its timeout when ``start`` spawns a new one, so each
-    loop carries the generation it was started under and exits as soon
-    as it wakes into a newer generation — at most one loop ever samples.
+    Built on :meth:`Simulator.periodic` (``immediate=True``: the first
+    sample lands at the start instant, as the old generator loop did).
+    ``stop`` cancels the periodic outright, so a stop→start cycle hands
+    over cleanly by construction — the cancelled wakeup is discarded by
+    the kernel and at most one periodic ever samples.
     """
 
     def __init__(self, sim: Simulator, trace: Trace, interval: float = 1.0) -> None:
@@ -133,7 +232,7 @@ class ProgressSampler:
         self.interval = interval
         self._probes: dict[str, Any] = {}
         self._running = False
-        self._generation = 0
+        self._periodic = None
 
     def add_probe(self, name: str, fn) -> None:
         self._probes[name] = fn
@@ -141,17 +240,20 @@ class ProgressSampler:
     def start(self) -> None:
         if not self._running:
             self._running = True
-            self._generation += 1
-            self.sim.process(self._loop(self._generation), name="progress-sampler")
+            self._periodic = self.sim.periodic(
+                self.interval, self._tick, immediate=True, name="progress-sampler")
 
     def stop(self) -> None:
         self._running = False
+        if self._periodic is not None:
+            self._periodic.cancel()
+            self._periodic = None
 
-    def _loop(self, generation: int):
-        while self._running and generation == self._generation:
-            for name, fn in self._probes.items():
-                self.trace.sample(name, fn())
-            yield self.sim.timeout(self.interval)
+    def _tick(self):
+        if not self._running:
+            return False
+        for name, fn in self._probes.items():
+            self.trace.sample(name, fn())
 
 
 def phase_durations(

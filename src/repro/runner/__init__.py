@@ -3,6 +3,7 @@ determinism verification for every experiment driver."""
 
 from repro.runner.runner import (
     DeterminismError,
+    TrialError,
     TrialResult,
     TrialRunner,
     jobs_from_env,
@@ -13,6 +14,7 @@ from repro.runner.runner import (
 
 __all__ = [
     "DeterminismError",
+    "TrialError",
     "TrialResult",
     "TrialRunner",
     "jobs_from_env",

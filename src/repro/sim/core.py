@@ -9,12 +9,41 @@ generator (or its exception thrown into it).
 
 Only simulation-domain concepts live here; bandwidth sharing and
 resources are layered on top in sibling modules.
+
+Hot-path design (the kernel is where large simulations spend their
+time once the flow scheduler is incremental):
+
+- **Timeout pooling** — processed :class:`Timeout` objects are recycled
+  through a per-simulator free list instead of being garbage. An object
+  is only recycled when a refcount check proves nothing outside the
+  kernel still holds it, so model code that keeps a reference to a
+  timeout (to re-wait it, to inspect ``cancelled``) is never aliased.
+- **``Simulator.periodic``** — a dedicated wakeup path for fixed-interval
+  daemons (heartbeats, samplers, logging ticks). One reusable heap
+  entry per daemon replaces a generator frame plus a fresh ``Timeout``
+  per tick, while scheduling with the exact sequence-number pattern the
+  equivalent generator loop would produce (same-instant ordering, and
+  therefore seeded trace digests, are unchanged).
+- **Stale-entry compaction** — cancelled timeouts use lazy deletion
+  (binary heaps cannot remove arbitrary entries); when stale entries
+  exceed half the heap the kernel rebuilds it in place, bounding the
+  memory and pop-cost of cancel-heavy workloads.
+- **Locals-bound run loop** — :meth:`Simulator.run` binds the heap and
+  ``heappop`` to locals and inlines :meth:`Simulator.step`.
+
+Set ``REPRO_KERNEL=reference`` to construct simulators with pooling
+disabled and ``periodic`` falling back to a plain generator loop — the
+pre-optimisation behaviour, kept as an equivalence oracle (mirroring
+``REPRO_SCHEDULER=reference`` for the flow scheduler).
 """
 
 from __future__ import annotations
 
 import heapq
+import os
+import sys
 from collections.abc import Callable, Generator, Iterable
+from heapq import heapify, heappop, heappush, heapreplace
 from typing import Any
 
 __all__ = [
@@ -22,6 +51,7 @@ __all__ = [
     "AnyOf",
     "Event",
     "Interrupt",
+    "Periodic",
     "Process",
     "SimulationError",
     "Simulator",
@@ -32,6 +62,18 @@ __all__ = [
 NORMAL = 1
 #: Priority used for high-urgency events (process interrupts).
 URGENT = 0
+
+
+def _reference_kernel() -> bool:
+    """Whether new simulators should run in reference (unpooled) mode."""
+    return os.environ.get("REPRO_KERNEL", "") == "reference"
+
+
+def _impure_tick(event: "Periodic") -> "SimulationError":
+    return SimulationError(
+        f"pure periodic {event.name!r} scheduled an event during its tick — "
+        "drop pure=True or make the callback pure"
+    )
 
 
 class SimulationError(Exception):
@@ -59,6 +101,11 @@ class Event:
     """
 
     __slots__ = ("sim", "callbacks", "_value", "_exc", "_triggered", "_processed", "_defused")
+
+    #: Class-level default consulted by the run loop's single-load fast
+    #: check; only a started, uncancelled pure Periodic overrides it
+    #: (via its ``_fast`` slot) to claim the root-replace tick path.
+    _fast = False
 
     def __init__(self, sim: "Simulator") -> None:
         self.sim = sim
@@ -148,6 +195,13 @@ class Event:
         return f"<{type(self).__name__} {state} at {hex(id(self))}>"
 
 
+#: References a freshly processed, unaliased Timeout has when the pool
+#: check runs: the run-loop local, ``self`` in ``_process`` and the
+#: ``getrefcount`` argument itself. Anything above this means model code
+#: still holds the object and it must not be recycled.
+_POOLABLE_REFS = 3
+
+
 class Timeout(Event):
     """An event that triggers ``delay`` time units after creation.
 
@@ -156,6 +210,11 @@ class Timeout(Event):
     without running callbacks when popped. This is what lets the flow
     scheduler keep exactly one live completion timer instead of
     accumulating thousands of version-dead entries.
+
+    Processed timeouts are recycled through :attr:`Simulator._free_timeouts`
+    when a refcount check shows no model code still references them —
+    the per-wakeup allocation that used to dominate heartbeat-heavy
+    workloads becomes a pop+reset.
     """
 
     __slots__ = ("delay", "_cancelled")
@@ -179,14 +238,43 @@ class Timeout(Event):
 
         Cancelling an already-processed timeout is a no-op.
         """
+        if self._cancelled or self._processed:
+            return
         self._cancelled = True
+        if self.sim._pooling:
+            self.sim._note_stale()
 
     def _process(self) -> None:
+        sim = self.sim
         if self._cancelled:
             self.callbacks = None
             self._processed = True
-            return
-        super()._process()
+            if sim._pooling:
+                sim._stale -= 1
+        else:
+            callbacks, self.callbacks = self.callbacks, None
+            self._processed = True
+            for cb in callbacks or ():
+                cb(self)
+            if self._exc is not None and not callbacks and not self._defused:
+                raise self._exc
+        # Recycle only when provably unaliased (see _POOLABLE_REFS).
+        if sim._pooling and sys.getrefcount(self) <= _POOLABLE_REFS:
+            sim._free_timeouts.append(self)
+
+    def _reset(self, delay: float, value: Any) -> None:
+        """Re-arm a pooled instance as if freshly constructed."""
+        self.callbacks = []
+        self._value = value
+        self._exc = None
+        self._triggered = True
+        self._processed = False
+        self._defused = False
+        self.delay = delay
+        self._cancelled = False
+        sim = self.sim
+        sim._seq = seq = sim._seq + 1
+        heappush(sim._heap, (sim._now + delay, NORMAL, seq, self))
 
 
 class Initialize(Event):
@@ -294,8 +382,139 @@ class Process(Event):
         next_ev._add_callback(self._resume)
 
 
+class Periodic(Event):
+    """A reusable fixed-interval wakeup: calls ``fn()`` every
+    ``interval`` simulated seconds until ``fn`` returns ``False`` or
+    :meth:`cancel` is called.
+
+    One heap entry is reused for the daemon's whole life — no generator
+    frame, no per-tick :class:`Timeout`. Scheduling mirrors the
+    equivalent generator loop exactly: construction takes the urgent
+    zero-delay slot an :class:`Initialize` would, the first tick's entry
+    is pushed while that slot is processed (where the loop's first
+    ``yield timeout`` would run), and each later tick re-pushes *after*
+    ``fn`` runs (where the loop body would create its next timeout). The
+    same sequence numbers are claimed at the same instants, so
+    same-instant event ordering — and with it seeded trace digests — is
+    identical across the two representations.
+
+    With ``immediate=True``, ``fn`` also runs at the start instant (the
+    generator-loop shape whose body precedes its first ``yield``).
+
+    With ``pure=True`` the caller promises ``fn`` never creates or
+    triggers events (heartbeat-style field updates only). The run loop
+    then ticks such a periodic by *replacing* the heap root in place —
+    one sift instead of a pop + push, and no ``_process`` dispatch. The
+    promise is enforced: a pure ``fn`` that allocates an event sequence
+    number raises ``SimulationError`` at the offending tick. Purity
+    cannot change scheduling order (the fn has nothing to order
+    against), so it is a pure speed knob.
+
+    A ``Periodic`` is not waitable — it triggers nothing and carries no
+    value; use a process for anything that needs to observe completion.
+    """
+
+    __slots__ = ("interval", "fn", "name", "pure", "_fast",
+                 "_immediate", "_started", "_cancelled")
+
+    def __init__(self, sim: "Simulator", interval: float,
+                 fn: Callable[[], Any], immediate: bool = False,
+                 pure: bool = False, name: str | None = None) -> None:
+        if interval <= 0:
+            raise SimulationError(f"periodic interval must be positive: {interval}")
+        super().__init__(sim)
+        self.callbacks = None  # never waitable
+        self.interval = interval
+        self.fn = fn
+        self.name = name or getattr(fn, "__name__", "periodic")
+        self.pure = pure
+        self._fast = False
+        self._immediate = immediate
+        self._started = False
+        self._cancelled = False
+        self._triggered = True
+        sim._schedule(self, URGENT, 0.0)
+
+    @property
+    def cancelled(self) -> bool:
+        return self._cancelled
+
+    def cancel(self) -> None:
+        """Stop the wakeups; the pending heap entry is lazily discarded."""
+        self._cancelled = True
+        if self._fast:
+            self._fast = False
+            self.sim._nfast -= 1
+
+    def _process(self) -> None:
+        # The run loop short-circuits started pure periodics before they
+        # are popped; this pop-based path handles everything else (the
+        # start slot, non-pure ticks, cancelled discards, step()-driven
+        # tests) with identical sequence-number allocation.
+        if self._cancelled:
+            self._processed = True
+            return
+        if not self._started:
+            # The Initialize-equivalent slot: claim the first tick's
+            # sequence number here, run fn only if the loop shape would.
+            self._started = True
+            if self._immediate and self.fn() is False:
+                self._processed = True
+                return
+            # Started, live, pure: from now on the run loop may tick
+            # this event via the root-replace / batch fast paths.
+            if self.pure:
+                self._fast = True
+                self.sim._nfast += 1
+        elif self.fn() is False:
+            self._processed = True
+            if self._fast:
+                self._fast = False
+                self.sim._nfast -= 1
+            return
+        sim = self.sim
+        sim._seq = seq = sim._seq + 1
+        heappush(sim._heap, (sim._now + self.interval, NORMAL, seq, self))
+
+
+class _GeneratorPeriodic:
+    """Reference-kernel stand-in for :class:`Periodic`: the plain
+    generator-loop representation, with the same ``cancel()`` surface."""
+
+    __slots__ = ("process", "_cancelled")
+
+    def __init__(self, sim: "Simulator", interval: float,
+                 fn: Callable[[], Any], immediate: bool, name: str | None) -> None:
+        self._cancelled = False
+
+        def _loop():
+            if immediate and fn() is False:
+                return
+            while True:
+                yield sim.timeout(interval)
+                if self._cancelled or fn() is False:
+                    return
+
+        self.process = sim.process(_loop(), name=name or getattr(fn, "__name__", "periodic"))
+
+    @property
+    def cancelled(self) -> bool:
+        return self._cancelled
+
+    def cancel(self) -> None:
+        self._cancelled = True
+
+
 class Condition(Event):
-    """Base for composite events over a fixed set of child events."""
+    """Base for composite events over a fixed set of child events.
+
+    Once the condition triggers it detaches its callback from every
+    still-untriggered child, and defuses children left with no other
+    listener: a loser of a decided :class:`AnyOf` (or the stragglers of
+    a failed-fast :class:`AllOf`) that later fails is abandoned fallout,
+    not an unhandled error escaping :meth:`Simulator.run` — and the
+    condition no longer pins a callback reference on every loser.
+    """
 
     __slots__ = ("events", "_remaining")
 
@@ -311,6 +530,17 @@ class Condition(Event):
             return
         for ev in self.events:
             ev._add_callback(self._check)
+
+    def _abandon_rest(self) -> None:
+        """Unsubscribe from children that have not triggered yet."""
+        for ev in self.events:
+            cbs = ev.callbacks
+            if cbs is None or ev._triggered:
+                continue
+            if self._check in cbs:
+                cbs.remove(self._check)
+            if not cbs:
+                ev._defused = True
 
     def _on_empty(self) -> None:  # pragma: no cover - abstract
         raise NotImplementedError
@@ -339,6 +569,7 @@ class AllOf(Condition):
         if event._exc is not None:
             event._defused = True
             self.fail(event._exc)
+            self._abandon_rest()
             return
         self._remaining -= 1
         if self._remaining == 0:
@@ -367,18 +598,43 @@ class AnyOf(Condition):
         if event._exc is not None:
             event._defused = True
             self.fail(event._exc)
-            return
-        self.succeed(event._value)
+        else:
+            self.succeed(event._value)
+        self._abandon_rest()
 
 
 class Simulator:
     """Owns simulated time and the pending-event heap."""
+
+    # The run loop stores _now/_seq once per event; slot storage keeps
+    # those off a dict lookup.
+    __slots__ = ("_now", "_heap", "_seq", "_active_process",
+                 "_free_timeouts", "_stale", "_pooling", "_nfast")
+
+    #: Compaction threshold: rebuild the heap once at least this many
+    #: cancelled timeouts are buried in it *and* they outnumber the live
+    #: entries. Small heaps are never worth rebuilding.
+    COMPACT_MIN_STALE = 64
+
+    #: Batch-tick threshold: the same-instant batch path (one heap scan
+    #: + one heapify per instant instead of one heapreplace sift per
+    #: tick) engages only when at least this many started pure periodics
+    #: are live *and* they make up at least half the heap — otherwise
+    #: the scan would cost more than the sifts it saves.
+    BATCH_MIN_FAST = 32
 
     def __init__(self) -> None:
         self._now = 0.0
         self._heap: list[tuple[float, int, int, Event]] = []
         self._seq = 0
         self._active_process: Process | None = None
+        #: Free list of processed, unaliased Timeout objects.
+        self._free_timeouts: list[Timeout] = []
+        #: Cancelled-but-still-heaped timeout count (lazy deletion debt).
+        self._stale = 0
+        self._pooling = not _reference_kernel()
+        #: Live started-pure-periodic count; gates the batch tick path.
+        self._nfast = 0
 
     @property
     def now(self) -> float:
@@ -394,11 +650,36 @@ class Simulator:
         return Event(self)
 
     def timeout(self, delay: float, value: Any = None) -> Timeout:
+        free = self._free_timeouts
+        if free and delay >= 0:
+            t = free.pop()
+            t._reset(delay, value)
+            return t
         return Timeout(self, delay, value)
 
     def process(self, gen: Generator[Event, Any, Any], name: str | None = None) -> Process:
         """Start running ``gen`` as a process at the current time."""
         return Process(self, gen, name=name)
+
+    def periodic(self, interval: float, fn: Callable[[], Any],
+                 immediate: bool = False, pure: bool = False,
+                 name: str | None = None):
+        """Run ``fn()`` every ``interval`` seconds (first run at
+        ``now + interval``, or at the current instant too with
+        ``immediate=True``) until it returns ``False`` or the returned
+        handle's ``cancel()`` is called. ``pure=True`` asserts ``fn``
+        never creates events, unlocking the heap-root-replace tick path
+        (see :class:`Periodic`).
+
+        This is the allocation-free representation of the ubiquitous
+        ``while True: yield sim.timeout(interval); body()`` daemon loop;
+        the two representations schedule identically (see
+        :class:`Periodic`). Under ``REPRO_KERNEL=reference`` the
+        generator representation itself is used.
+        """
+        if not self._pooling:
+            return _GeneratorPeriodic(self, interval, fn, immediate, name)
+        return Periodic(self, interval, fn, immediate=immediate, pure=pure, name=name)
 
     def all_of(self, events: Iterable[Event]) -> AllOf:
         return AllOf(self, events)
@@ -411,6 +692,37 @@ class Simulator:
         self._seq += 1
         heapq.heappush(self._heap, (self._now + delay, priority, self._seq, event))
 
+    def _note_stale(self) -> None:
+        """Account one newly cancelled heap entry; compact when the lazy
+        deletion debt dominates the heap."""
+        self._stale += 1
+        if self._stale >= self.COMPACT_MIN_STALE and self._stale * 2 > len(self._heap):
+            self._compact()
+
+    def _compact(self) -> None:
+        """Drop cancelled-timeout entries and re-heapify in place.
+
+        Removed entries are exactly those a pop would discard without
+        observable effect, so compaction never changes behaviour — only
+        heap size. In-place (slice assignment) so the locals-bound run
+        loop keeps seeing the same list object.
+        """
+        heap = self._heap
+        live = [entry for entry in heap
+                if not (type(entry[3]) is Timeout and entry[3]._cancelled)]
+        removed = len(heap) - len(live)
+        if removed:
+            for entry in heap:
+                ev = entry[3]
+                if type(ev) is Timeout and ev._cancelled and not ev._processed:
+                    ev.callbacks = None
+                    ev._processed = True
+                    if self._pooling and sys.getrefcount(ev) <= _POOLABLE_REFS:
+                        self._free_timeouts.append(ev)
+            heap[:] = live
+            heapq.heapify(heap)
+        self._stale = 0
+
     def peek(self) -> float:
         """Time of the next scheduled event, or ``inf`` if none."""
         return self._heap[0][0] if self._heap else float("inf")
@@ -422,6 +734,63 @@ class Simulator:
         when, _, _, event = heapq.heappop(self._heap)
         self._now = when
         event._process()
+
+    def _batch_tick(self, heap: list, t: float) -> bool:
+        """Tick every started pure periodic due at instant ``t`` in one
+        pass: one heap scan, callbacks in sequence order, one O(n)
+        ``heapify`` — instead of one heapreplace sift per tick.
+
+        Sequence-identical to ticking them one at a time off the heap
+        root: at a single instant the pop order of the cohort is its
+        sequence order (equal time and priority), each tick claims the
+        next sequence number for its rescheduled entry, and pure
+        callbacks cannot schedule anything that would interleave. Any
+        *other* event sharing the instant could interleave, so the batch
+        aborts (returns ``False``, heap untouched) and the caller falls
+        back to the one-at-a-time path; dead wakeups of cancelled
+        periodics are the exception — a pop would discard them with no
+        observable effect, and the scan discards them the same way.
+
+        On an exception from a callback the heap is left at the
+        pre-instant state; resuming ``run()`` after a mid-instant
+        failure is as undefined as it always was.
+        """
+        live: list = []
+        cohort: list = []
+        keep = live.append
+        take = cohort.append
+        for entry in heap:
+            if entry[0] != t:
+                keep(entry)
+            elif entry[3]._fast:
+                take(entry)
+            elif type(entry[3]) is Periodic and entry[3]._cancelled:
+                entry[3]._processed = True
+            else:
+                return False
+        cohort.sort()
+        self._now = t
+        seq = self._seq
+        normal = NORMAL
+        for entry in cohort:
+            ev = entry[3]
+            if ev._cancelled:
+                # Cancelled by an earlier member of this same instant;
+                # a pop would discard it without claiming a sequence
+                # number, so do exactly that.
+                ev._processed = True
+                continue
+            self._seq = seq = seq + 1
+            keep((t + ev.interval, normal, seq, ev))
+            if ev.fn() is False:
+                ev._cancelled = True
+                ev._fast = False
+                self._nfast -= 1
+            if self._seq != seq:
+                raise _impure_tick(ev)
+        heap[:] = live
+        heapify(heap)
+        return True
 
     def run(self, until: float | Event | None = None) -> Any:
         """Run until the heap drains, ``until`` time passes, or an
@@ -436,13 +805,122 @@ class Simulator:
             if stop_time < self._now:
                 raise SimulationError(f"until={stop_time} is in the past (now={self._now})")
 
-        while self._heap:
-            if stop_event is not None and stop_event._processed:
-                return stop_event.value
-            if self._heap[0][0] > stop_time:
-                self._now = stop_time
-                return None
-            self.step()
+        if not self._pooling:
+            # Reference kernel: the pre-overhaul loop, verbatim — one
+            # step() call per event with per-iteration stop checks.
+            while self._heap:
+                if stop_event is not None and stop_event._processed:
+                    return stop_event.value
+                if self._heap[0][0] > stop_time:
+                    self._now = stop_time
+                    return None
+                self.step()
+            return self._run_drained(stop_event, stop_time)
+
+        # Hot loop: locals-bound heap + heap ops, step() inlined, and
+        # started pure periodics ticked by replacing the heap root in
+        # place (heapreplace: one sift, no pop+push, no _process
+        # dispatch). Three specialisations keep per-event stop checks
+        # out of the variants that don't need them. _compact mutates
+        # self._heap in place, so the local alias stays valid.
+        heap = self._heap
+        normal = NORMAL
+        batch_min = self.BATCH_MIN_FAST
+        if stop_event is not None:
+            while heap:
+                item = heap[0]
+                event = item[3]
+                if event._fast:
+                    if stop_event._processed:
+                        return stop_event.value
+                    if (self._nfast >= batch_min
+                            and self._nfast * 2 >= len(heap)
+                            and self._batch_tick(heap, item[0])):
+                        continue
+                    self._now = when = item[0]
+                    self._seq = seq = self._seq + 1
+                    heapreplace(heap, (when + event.interval, normal, seq, event))
+                    if event.fn() is False:
+                        event._cancelled = True
+                        event._fast = False
+                        self._nfast -= 1
+                    if self._seq != seq:
+                        raise _impure_tick(event)
+                    continue
+                if stop_event._processed:
+                    return stop_event.value
+                when, _, _, event = heappop(heap)
+                # Drop the peek alias before dispatch: a live reference
+                # to the popped entry would fail the recycle refcount
+                # check and quietly disable Timeout pooling.
+                del item
+                self._now = when
+                event._process()
+        elif stop_time != float("inf"):
+            while heap:
+                item = heap[0]
+                event = item[3]
+                if event._fast:
+                    if item[0] > stop_time:
+                        self._now = stop_time
+                        return None
+                    if (self._nfast >= batch_min
+                            and self._nfast * 2 >= len(heap)
+                            and self._batch_tick(heap, item[0])):
+                        continue
+                    self._now = when = item[0]
+                    self._seq = seq = self._seq + 1
+                    heapreplace(heap, (when + event.interval, normal, seq, event))
+                    if event.fn() is False:
+                        event._cancelled = True
+                        event._fast = False
+                        self._nfast -= 1
+                    if self._seq != seq:
+                        raise _impure_tick(event)
+                    continue
+                if item[0] > stop_time:
+                    self._now = stop_time
+                    return None
+                when, _, _, event = heappop(heap)
+                # Drop the peek alias before dispatch: a live reference
+                # to the popped entry would fail the recycle refcount
+                # check and quietly disable Timeout pooling.
+                del item
+                self._now = when
+                event._process()
+        else:
+            # Drain-everything: no stop checks at all. A heap holding
+            # only live periodics would spin forever here — exactly as
+            # the equivalent while-True generator loops would.
+            while heap:
+                item = heap[0]
+                event = item[3]
+                if event._fast:
+                    if (self._nfast >= batch_min
+                            and self._nfast * 2 >= len(heap)
+                            and self._batch_tick(heap, item[0])):
+                        continue
+                    self._now = when = item[0]
+                    self._seq = seq = self._seq + 1
+                    heapreplace(heap, (when + event.interval, normal, seq, event))
+                    if event.fn() is False:
+                        event._cancelled = True
+                        event._fast = False
+                        self._nfast -= 1
+                    if self._seq != seq:
+                        raise _impure_tick(event)
+                    continue
+                when, _, _, event = heappop(heap)
+                # Drop the peek alias before dispatch: a live reference
+                # to the popped entry would fail the recycle refcount
+                # check and quietly disable Timeout pooling.
+                del item
+                self._now = when
+                event._process()
+        return self._run_drained(stop_event, stop_time)
+
+    def _run_drained(self, stop_event: Event | None, stop_time: float) -> Any:
+        """Shared run() epilogue: the heap emptied before any stop."""
         if stop_event is not None:
             if stop_event._processed:
                 return stop_event.value

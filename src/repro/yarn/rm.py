@@ -162,8 +162,9 @@ class ResourceManager:
         self.node_rejoined_listeners: list = []
         self._lost_nodes: set[int] = set()
         for nm in self.node_managers.values():
-            sim.process(self._heartbeat_loop(nm), name=f"hb:{nm.node.name}")
-        sim.process(self._liveness_monitor(), name="rm-liveness")
+            self._start_heartbeat(nm)
+        sim.periodic(self.config.nm_heartbeat_interval, self._liveness_tick,
+                     name="rm-liveness")
 
     # -- container lifecycle ----------------------------------------------
     def request_container(
@@ -233,7 +234,7 @@ class ResourceManager:
         nm = NodeManager(node, self.config, self.sim)
         self.node_managers[node.node_id] = nm
         self._lost_nodes.discard(node.node_id)
-        self.sim.process(self._heartbeat_loop(nm), name=f"hb:{node.name}")
+        self._start_heartbeat(nm)
         for fn in list(self.node_rejoined_listeners):
             fn(node)
         self._match()
@@ -336,23 +337,26 @@ class ResourceManager:
         self.sim.process(handout(), name=f"grant-c{container.container_id}")
 
     # -- heartbeats & liveness ------------------------------------------------
-    def _heartbeat_loop(self, nm: NodeManager):
-        while True:
-            yield self.sim.timeout(self.config.nm_heartbeat_interval)
-            if nm.lost:
-                return
-            if nm.node.reachable:
-                nm.last_heartbeat = self.sim.now
+    # Both daemons are fixed-interval wakeups with non-yielding bodies,
+    # so they ride the allocation-free Simulator.periodic path.
+    def _start_heartbeat(self, nm: NodeManager) -> None:
+        # pure: the tick only stamps last_heartbeat — never schedules.
+        self.sim.periodic(self.config.nm_heartbeat_interval,
+                          lambda: self._heartbeat_tick(nm),
+                          pure=True, name=f"hb:{nm.node.name}")
 
-    def _liveness_monitor(self):
-        check = self.config.nm_heartbeat_interval
-        while True:
-            yield self.sim.timeout(check)
-            for nm in self.node_managers.values():
-                if nm.lost:
-                    continue
-                if self.sim.now - nm.last_heartbeat >= self.config.nm_liveness_timeout:
-                    self._declare_lost(nm)
+    def _heartbeat_tick(self, nm: NodeManager):
+        if nm.lost:
+            return False  # stop: a lost NM never heartbeats again
+        if nm.node.reachable:
+            nm.last_heartbeat = self.sim.now
+
+    def _liveness_tick(self) -> None:
+        for nm in self.node_managers.values():
+            if nm.lost:
+                continue
+            if self.sim.now - nm.last_heartbeat >= self.config.nm_liveness_timeout:
+                self._declare_lost(nm)
 
     def _declare_lost(self, nm: NodeManager) -> None:
         nm.lost = True

@@ -10,7 +10,7 @@ from repro.experiments.common import (
     run_benchmark_trial,
 )
 from repro.hdfs.hdfs import HdfsConfig
-from repro.runner import DeterminismError, TrialRunner, spec_digest, trace_digest
+from repro.runner import DeterminismError, TrialError, TrialRunner, spec_digest, trace_digest
 from repro.yarn.rm import YarnConfig
 
 from tests.conftest import make_runtime, small_cluster, tiny_workload
@@ -41,6 +41,12 @@ def _flaky_trial(seed):
     return {"calls_so_far": len(_FLAKY_CALLS)}
 
 
+def _exploding_trial(seed):
+    if seed == 13:
+        raise ValueError("boom")
+    return {"value": seed}
+
+
 class TestTraceDigest:
     def test_same_seed_same_digest(self):
         d1 = trace_digest(make_runtime(seed=7).run().trace)
@@ -61,9 +67,12 @@ class TestTrialRunner:
         assert [r.payload["value"] for r in results] == [9, 1, 4]
         assert all(not r.cached for r in results)
 
-    def test_parallel_matches_serial_bit_for_bit(self):
+    def test_parallel_matches_serial_bit_for_bit(self, monkeypatch):
         """The acceptance contract: REPRO_JOBS>1 and REPRO_JOBS=1
-        produce identical per-seed payloads (including trace digests)."""
+        produce identical per-seed payloads (including trace digests).
+        Forced parallel: on a single-core host the runner would
+        otherwise auto-select the serial path and test nothing."""
+        monkeypatch.setenv("REPRO_FORCE_PARALLEL", "1")
         seeds = [42, 143, 244]
         kwargs = dict(workload=tiny_workload(), base_config=_cfg(), job_name="det")
         serial = TrialRunner(jobs=1, verify=False).run(
@@ -72,6 +81,26 @@ class TestTrialRunner:
             "det", run_benchmark_trial, seeds, kwargs=kwargs)
         assert [r.payload for r in serial] == [r.payload for r in parallel]
         assert all(len(r.payload["digest"]) == 64 for r in serial)
+
+    def test_single_core_auto_serial(self, monkeypatch):
+        """Without the override, a 1-core host quietly takes the serial
+        path even when jobs > 1 (fan-out is strictly overhead there)."""
+        monkeypatch.delenv("REPRO_FORCE_PARALLEL", raising=False)
+        monkeypatch.setattr("repro.runner.runner.os.cpu_count", lambda: 1)
+        calls = []
+        monkeypatch.setattr(
+            "repro.runner.runner.TrialRunner._run_parallel",
+            lambda self, *a, **k: calls.append(1) or {})
+        results = TrialRunner(jobs=4, verify=False).run(
+            "auto-serial", _square_trial, [1, 2, 3])
+        assert calls == []  # pool never touched
+        assert [r.payload["value"] for r in results] == [1, 4, 9]
+
+    def test_raising_trial_names_its_seed(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FORCE_PARALLEL", "1")
+        with pytest.raises(TrialError, match=r"seed 13 raised ValueError: boom"):
+            TrialRunner(jobs=2, verify=False).run(
+                "explode", _exploding_trial, [11, 12, 13, 14])
 
     def test_unpicklable_spec_falls_back_to_serial(self):
         results = TrialRunner(jobs=4, verify=False).run(

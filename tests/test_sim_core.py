@@ -355,3 +355,320 @@ class TestConditions:
         sim.run()
         assert any_ev.value == "x"
         assert all_ev.value == ["x", "y"]
+
+
+class TestTimeoutPooling:
+    """Free-list recycling of processed Timeout objects."""
+
+    @pytest.fixture(autouse=True)
+    def _default_kernel(self, monkeypatch):
+        # Pooling is a default-kernel feature; pin it so an ambient
+        # REPRO_KERNEL=reference (the CI oracle job) can't flip these.
+        monkeypatch.delenv("REPRO_KERNEL", raising=False)
+
+    def test_processed_timeout_is_recycled(self, sim):
+        def proc(sim):
+            yield sim.timeout(1.0)
+
+        sim.process(proc(sim))
+        sim.run()
+        assert len(sim._free_timeouts) == 1
+        pooled = sim._free_timeouts[-1]
+        assert sim.timeout(2.0) is pooled  # pop re-arms the same object
+
+    def test_recycled_timeout_waits_correctly(self, sim):
+        times = []
+
+        def proc(sim):
+            for _ in range(5):
+                yield sim.timeout(1.5)
+                times.append(sim.now)
+
+        sim.process(proc(sim))
+        sim.run()
+        assert times == [1.5, 3.0, 4.5, 6.0, 7.5]
+        # steady state ping-pongs between two instances: the next wait's
+        # timeout is created (inside _resume) before the firing one is
+        # recycled, so five waits allocate exactly two objects
+        assert len(sim._free_timeouts) == 2
+
+    def test_aliased_timeout_is_not_recycled(self, sim):
+        held = []
+
+        def proc(sim):
+            t = sim.timeout(1.0)
+            held.append(t)  # external alias survives processing
+            yield t
+
+        sim.process(proc(sim))
+        sim.run()
+        assert held[0] not in sim._free_timeouts
+        assert held[0].triggered and held[0].ok
+
+    def test_reference_kernel_never_pools(self, monkeypatch):
+        monkeypatch.setenv("REPRO_KERNEL", "reference")
+        sim = Simulator()
+
+        def proc(sim):
+            yield sim.timeout(1.0)
+            yield sim.timeout(1.0)
+
+        sim.process(proc(sim))
+        sim.run()
+        assert sim._free_timeouts == []
+
+
+class TestHeapCompaction:
+    """Lazy deletion of cancelled timeouts with threshold compaction."""
+
+    @pytest.fixture(autouse=True)
+    def _default_kernel(self, monkeypatch):
+        monkeypatch.delenv("REPRO_KERNEL", raising=False)
+
+    def test_cancelled_timeouts_are_compacted_out(self, sim):
+        cancelled = [sim.timeout(1000.0) for _ in range(200)]
+        live = sim.timeout(5.0)
+        fired = []
+        live._add_callback(lambda ev: fired.append(sim.now))
+        for t in cancelled:
+            t.cancel()
+        # the lazy-deletion debt crossed COMPACT_MIN_STALE while
+        # outnumbering live entries, so the heap was rebuilt (repeatedly)
+        # in place: the bulk of the 200 dead entries is gone and the
+        # remaining debt sits below the threshold again
+        assert len(sim._heap) < 100
+        assert sim._stale < Simulator.COMPACT_MIN_STALE
+        assert sim._stale == len(sim._heap) - 1  # every survivor but `live` is dead
+        sim.run(until=10.0)
+        assert fired == [5.0]
+
+    def test_small_heaps_are_never_compacted(self, sim):
+        timeouts = [sim.timeout(100.0) for _ in range(10)]
+        for t in timeouts:
+            t.cancel()
+        # 10 < COMPACT_MIN_STALE: all entries still heaped, just dead
+        assert sim._stale == 10
+        assert len(sim._heap) == 10
+        sim.run()
+        assert sim.now == 100.0
+
+    def test_compaction_preserves_live_timers(self, sim):
+        fired = []
+        for i in range(1, 6):
+            t = sim.timeout(float(i))
+            t._add_callback(lambda ev, i=i: fired.append((sim.now, i)))
+        doomed = [sim.timeout(500.0) for _ in range(150)]
+        for t in doomed:
+            t.cancel()
+        sim.run(until=10.0)
+        assert fired == [(1.0, 1), (2.0, 2), (3.0, 3), (4.0, 4), (5.0, 5)]
+
+
+class TestPeriodic:
+    """The allocation-free periodic-wakeup path."""
+
+    @pytest.fixture(autouse=True)
+    def _default_kernel(self, monkeypatch):
+        monkeypatch.delenv("REPRO_KERNEL", raising=False)
+
+    def test_ticks_at_interval(self, sim):
+        ticks = []
+        sim.periodic(2.0, lambda: ticks.append(sim.now))
+        sim.run(until=7.0)
+        assert ticks == [2.0, 4.0, 6.0]
+
+    def test_immediate_first_tick(self, sim):
+        ticks = []
+        sim.periodic(2.0, lambda: ticks.append(sim.now), immediate=True)
+        sim.run(until=5.0)
+        assert ticks == [0.0, 2.0, 4.0]
+
+    def test_stops_when_fn_returns_false(self, sim):
+        ticks = []
+
+        def tick():
+            ticks.append(sim.now)
+            if len(ticks) == 3:
+                return False
+
+        sim.periodic(1.0, tick)
+        sim.run(until=10.0)
+        assert ticks == [1.0, 2.0, 3.0]
+
+    def test_cancel_stops_ticks(self, sim):
+        ticks = []
+        p = sim.periodic(1.0, lambda: ticks.append(sim.now))
+
+        def canceller(sim):
+            yield sim.timeout(2.5)
+            p.cancel()
+
+        sim.process(canceller(sim))
+        sim.run(until=6.0)
+        assert ticks == [1.0, 2.0]
+        assert p.cancelled
+
+    def test_nonpositive_interval_rejected(self, sim):
+        with pytest.raises(SimulationError):
+            sim.periodic(0.0, lambda: None)
+
+    def test_impure_tick_raises(self, sim):
+        def bad_tick():
+            sim.timeout(5.0)  # schedules — violates the pure contract
+
+        sim.periodic(1.0, bad_tick, pure=True)
+        with pytest.raises(SimulationError, match="pure periodic"):
+            sim.run(until=10.0)
+
+    def test_reference_kernel_uses_generator_loop(self, monkeypatch):
+        monkeypatch.setenv("REPRO_KERNEL", "reference")
+        sim = Simulator()
+        ticks = []
+        p = sim.periodic(2.0, lambda: ticks.append(sim.now), immediate=True)
+        sim.run(until=5.0)
+        assert ticks == [0.0, 2.0, 4.0]
+        p.cancel()
+        sim.run(until=9.0)
+        assert ticks == [0.0, 2.0, 4.0]
+
+
+class TestBatchTick:
+    """Same-instant batch processing of pure periodic cohorts."""
+
+    COHORT = 64  # >= Simulator.BATCH_MIN_FAST, so the batch path engages
+
+    @pytest.fixture(autouse=True)
+    def _default_kernel(self, monkeypatch):
+        monkeypatch.delenv("REPRO_KERNEL", raising=False)
+
+    def _tick_trace(self, batch_enabled, monkeypatch, wire=None):
+        if not batch_enabled:
+            monkeypatch.setattr(Simulator, "BATCH_MIN_FAST", 10**9)
+        sim = Simulator()
+        ticks = []
+        handles = []
+        for i in range(self.COHORT):
+            def tick(i=i):
+                ticks.append((sim.now, i))
+
+            handles.append(sim.periodic(1.0, tick, pure=True))
+        if wire is not None:
+            wire(sim, handles, ticks)
+        sim.run(until=4.5)
+        return ticks, sim._seq
+
+    def test_batch_matches_one_at_a_time(self, monkeypatch):
+        batched, seq_b = self._tick_trace(True, monkeypatch)
+        serial, seq_s = self._tick_trace(False, monkeypatch)
+        assert batched == serial
+        assert seq_b == seq_s
+        assert len(batched) == self.COHORT * 4
+
+    def test_shared_instant_aborts_batch(self, monkeypatch):
+        def wire(sim, handles, ticks):
+            # a plain timeout landing on a cohort instant forces the
+            # one-at-a-time fallback for that instant only
+            t = sim.timeout(2.0)
+            t._add_callback(lambda ev: ticks.append((sim.now, "timeout")))
+
+        batched, seq_b = self._tick_trace(True, monkeypatch, wire)
+        serial, seq_s = self._tick_trace(False, monkeypatch, wire)
+        assert batched == serial
+        assert seq_b == seq_s
+        assert (2.0, "timeout") in batched
+
+    def test_cancel_from_within_cohort(self, monkeypatch):
+        def wire(sim, handles, ticks):
+            victim = handles[-1]
+
+            def assassin(sim):
+                yield sim.timeout(2.5)
+                victim.cancel()
+
+            sim.process(assassin(sim))
+
+        batched, seq_b = self._tick_trace(True, monkeypatch, wire)
+        serial, seq_s = self._tick_trace(False, monkeypatch, wire)
+        assert batched == serial
+        assert seq_b == seq_s
+        # the victim ticked at 1.0 and 2.0 only
+        victim_ticks = [t for t, i in batched if i == self.COHORT - 1]
+        assert victim_ticks == [1.0, 2.0]
+
+    def test_stop_from_within_batch(self, monkeypatch):
+        def wire(sim, handles, ticks):
+            # member 0 retires itself on its second tick
+            calls = []
+
+            def quitter():
+                calls.append(sim.now)
+                ticks.append((sim.now, "quitter"))
+                if len(calls) == 2:
+                    return False
+
+            handles.append(sim.periodic(1.0, quitter, pure=True))
+
+        batched, seq_b = self._tick_trace(True, monkeypatch, wire)
+        serial, seq_s = self._tick_trace(False, monkeypatch, wire)
+        assert batched == serial
+        assert seq_b == seq_s
+        quitter_ticks = [t for t, i in batched if i == "quitter"]
+        assert quitter_ticks == [1.0, 2.0]
+
+
+class TestConditionDetach:
+    """Triggered conditions unsubscribe from their remaining children."""
+
+    def test_late_failing_anyof_loser_does_not_escape(self, sim):
+        winner, loser = sim.event(), sim.event()
+        cond = sim.any_of([winner, loser])
+
+        def driver(sim):
+            yield sim.timeout(1.0)
+            winner.succeed("won")
+            yield sim.timeout(1.0)
+            loser.fail(RuntimeError("late loser"))
+
+        sim.process(driver(sim))
+        sim.run()  # must not raise: the loser's failure is defused
+        assert cond.value == "won"
+
+    def test_allof_detaches_after_fail_fast(self, sim):
+        bad, slow = sim.event(), sim.event()
+        cond = sim.all_of([bad, slow])
+
+        def driver(sim):
+            yield sim.timeout(1.0)
+            bad.fail(RuntimeError("first failure"))
+            yield sim.timeout(1.0)
+            slow.fail(RuntimeError("second failure"))
+
+        sim.process(driver(sim))
+        cond.defuse()
+        sim.run()  # the second failure must also be defused
+        assert not cond.ok
+        assert str(cond._exc) == "first failure"
+
+    def test_anyof_winner_detaches_loser_callbacks(self, sim):
+        winner, loser = sim.event(), sim.event()
+        cond = sim.any_of([winner, loser])
+        assert any(cb == cond._check for cb in loser.callbacks)
+        winner.succeed("x")
+        sim.run()
+        assert not any(cb == cond._check for cb in (loser.callbacks or []))
+
+
+class TestKernelEquivalence:
+    """REPRO_KERNEL=reference (generator periodics, no pooling, the
+    pre-overhaul run loop) must reproduce the default kernel's seeded
+    digests exactly."""
+
+    def test_periodic_path_on_off_same_digest(self, monkeypatch):
+        from repro.runner import trace_digest
+        from tests.conftest import make_runtime
+
+        monkeypatch.delenv("REPRO_KERNEL", raising=False)
+        d_default = trace_digest(make_runtime(seed=11).run().trace)
+        monkeypatch.setenv("REPRO_KERNEL", "reference")
+        d_reference = trace_digest(make_runtime(seed=11).run().trace)
+        assert d_default == d_reference
