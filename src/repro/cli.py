@@ -23,6 +23,14 @@ Commands
 
         python -m repro chaos --seed 7 --trials 50
 
+``verify``
+    Differential verification: run the scenario corpus across the
+    kernel x scheduler implementation matrix, check golden trace
+    digests, and check the metamorphic relations, e.g.::
+
+        python -m repro verify --matrix --jobs 4
+        python -m repro verify --refresh-golden
+
 Fault specs: ``reduce@P`` (OOM the reducer at progress P),
 ``map@P:IDX``, ``node@P:TARGET`` (TARGET = reducer | map-only | worker
 index), ``nodetime@T:TARGET``, ``maps@T:N`` (kill N maps at time T),
@@ -167,6 +175,30 @@ def _build_parser() -> argparse.ArgumentParser:
                          help="skip greedy schedule minimization on violation")
     p_chaos.add_argument("--replay", metavar="FILE", default=None,
                          help="re-run a reproducer JSON instead of a campaign")
+
+    p_verify = sub.add_parser(
+        "verify",
+        help="differential verification: scenario corpus x implementation "
+             "matrix, golden digests, metamorphic relations")
+    p_verify.add_argument("--quick", action="store_true",
+                          help="quick-tagged scenarios on 2 matrix corners "
+                               "plus golden check (tier-1 budget)")
+    p_verify.add_argument("--matrix", action="store_true",
+                          help="full corpus across all 4 kernel x scheduler "
+                               "combinations plus golden check")
+    p_verify.add_argument("--metamorphic", action="store_true",
+                          help="metamorphic relations only")
+    p_verify.add_argument("--refresh-golden", action="store_true",
+                          help="re-run the corpus and rewrite "
+                               "tests/golden/scenarios.json")
+    p_verify.add_argument("--scenario", action="append", default=None,
+                          metavar="NAME", help="restrict to named scenario(s)")
+    p_verify.add_argument("--jobs", type=int, default=None, metavar="N",
+                          help="fan matrix runs across N worker processes "
+                               "(sets REPRO_JOBS; default: serial)")
+    p_verify.add_argument("--out", metavar="DIR", default="chaos-reports",
+                          help="directory for metamorphic reproducer JSON "
+                               "files")
 
     sub.add_parser("list", help="show workloads, policies and experiments")
     return parser
@@ -352,6 +384,66 @@ def cmd_chaos(args) -> int:
     return 0
 
 
+def cmd_verify(args) -> int:
+    import os
+
+    from repro.verify import (
+        COMBOS,
+        QUICK_COMBOS,
+        DivergenceError,
+        check_golden,
+        refresh_golden,
+        run_all_relations,
+        run_matrix,
+    )
+
+    if args.jobs is not None:
+        os.environ["REPRO_JOBS"] = str(max(1, args.jobs))
+
+    if args.refresh_golden:
+        report = run_matrix(names=args.scenario, combos=COMBOS[:1])
+        path = refresh_golden(report["digests"])
+        print(f"golden digests for {report['scenarios']} scenarios written "
+              f"to {path}")
+        return 0
+
+    # No layer flag selects everything; --quick trims the matrix budget.
+    do_matrix = args.matrix or args.quick or not args.metamorphic
+    do_metamorphic = args.metamorphic or not (args.matrix or args.quick)
+    failures = 0
+
+    if do_matrix:
+        combos = QUICK_COMBOS if args.quick else COMBOS
+        label = "quick" if args.quick else "full"
+        print(f"differential matrix ({label}: "
+              f"{len(combos)} kernel x scheduler combos):")
+        try:
+            report = run_matrix(names=args.scenario,
+                                quick=args.quick, combos=combos)
+        except DivergenceError as exc:
+            print(f"DIVERGENCE: {exc}")
+            return 1
+        print(f"  {report['runs']} runs over {report['scenarios']} scenarios: "
+              "all digests identical across the matrix")
+        golden_problems = check_golden(report["digests"])
+        for problem in golden_problems:
+            print(f"  golden: {problem}")
+        if golden_problems:
+            failures += 1
+        else:
+            print(f"  golden: {len(report['digests'])} scenario digests match "
+                  "tests/golden/scenarios.json")
+
+    if do_metamorphic:
+        print("metamorphic relations:")
+        results = run_all_relations(out_dir=args.out)
+        failed = [r for r in results if not r.ok]
+        failures += len(failed)
+        print(f"  {len(results) - len(failed)}/{len(results)} relations hold")
+
+    return 1 if failures else 0
+
+
 def cmd_list(_args) -> int:
     print("workloads:  " + ", ".join(sorted(BENCHMARKS)))
     print("policies:   " + ", ".join(_POLICIES))
@@ -367,6 +459,8 @@ def main(argv: list[str] | None = None) -> int:
         return cmd_experiment(args)
     if args.command == "chaos":
         return cmd_chaos(args)
+    if args.command == "verify":
+        return cmd_verify(args)
     return cmd_list(args)
 
 

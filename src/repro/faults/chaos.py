@@ -21,7 +21,7 @@ from __future__ import annotations
 
 import json
 from pathlib import Path
-from typing import Any
+from typing import Any, Callable
 
 import numpy as np
 
@@ -47,6 +47,7 @@ __all__ = [
     "FAULT_KINDS",
     "build_fault",
     "generate_trial",
+    "minimize_spec",
     "run_campaign",
     "run_chaos_trial",
     "run_trial_spec",
@@ -294,16 +295,31 @@ def run_chaos_trial(seed: int, campaign: dict[str, Any]) -> dict[str, Any]:
     return run_trial_spec(generate_trial(campaign, seed))
 
 
-def minimize_spec(spec: dict[str, Any]) -> dict[str, Any]:
+def minimize_spec(
+    spec: dict[str, Any],
+    violates: Callable[[dict[str, Any]], bool] | None = None,
+    floor: int = 1,
+) -> dict[str, Any]:
     """Greedily shrink a violating schedule: keep dropping single faults
-    while the remainder still violates. O(n^2) runs, n = #faults (small)."""
+    while the remainder still violates. O(n^2) runs, n = #faults (small).
+
+    ``violates`` is the oracle — given a candidate spec, does it still
+    exhibit the failure? It defaults to "re-run the trial and check the
+    invariant suite" (the chaos campaign's oracle); the metamorphic
+    verifier (:mod:`repro.verify.metamorphic`) passes its own relation
+    check instead, with ``floor=0`` because a relation can fail with no
+    faults at all (the bug is then in the fault-free transform).
+    """
+    if violates is None:
+        def violates(candidate: dict[str, Any]) -> bool:
+            return bool(run_trial_spec(candidate)["violations"])
     faults = list(spec["faults"])
     changed = True
-    while changed and len(faults) > 1:
+    while changed and len(faults) > floor:
         changed = False
         for i in range(len(faults)):
             candidate = dict(spec, faults=faults[:i] + faults[i + 1:])
-            if run_trial_spec(candidate)["violations"]:
+            if violates(candidate):
                 faults = candidate["faults"]
                 changed = True
                 break

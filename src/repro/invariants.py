@@ -168,12 +168,27 @@ def check_hdfs_consistency(rt: "MapReduceRuntime", result: "JobResult") -> list[
     return out
 
 
+def check_trace_monotonic(rt: "MapReduceRuntime", result: "JobResult") -> list[str]:
+    """Trace event times must never decrease: the differential verifier
+    (:mod:`repro.verify`) diffs event streams positionally, so an event
+    logged in the past — a kernel dispatching a stale timer, a process
+    resumed out of order — would corrupt every downstream comparison,
+    not just this run."""
+    events = rt.trace.events
+    for i in range(1, len(events)):
+        if events[i].time < events[i - 1].time:
+            return [f"trace: event {i} ({events[i].kind}) at t={events[i].time} "
+                    f"logged after {events[i - 1].kind} at t={events[i - 1].time}"]
+    return []
+
+
 INVARIANTS: dict[str, Callable] = {
     "termination": check_termination,
     "byte_conservation": check_byte_conservation,
     "no_orphans": check_no_orphans,
     "containers_released": check_containers_released,
     "hdfs_consistency": check_hdfs_consistency,
+    "trace_monotonic": check_trace_monotonic,
 }
 
 

@@ -36,7 +36,7 @@ from typing import Any, Iterable
 
 from repro.sim.core import Simulator
 
-__all__ = ["ProgressSampler", "Trace", "TraceEvent", "phase_durations"]
+__all__ = ["ProgressSampler", "Trace", "TraceEvent", "first_divergence", "phase_durations"]
 
 
 class TraceEvent:
@@ -254,6 +254,57 @@ class ProgressSampler:
             return False
         for name, fn in self._probes.items():
             self.trace.sample(name, fn())
+
+
+def _record_key(record: Any) -> bytes:
+    """Canonical bytes for one event record (or :class:`TraceEvent`)."""
+    if isinstance(record, TraceEvent):
+        record = {"time": record.time, "kind": record.kind, **record.data}
+    return json.dumps(record, **_DUMPS_KW).encode()
+
+
+def first_divergence(a: Iterable[Any], b: Iterable[Any]) -> int | None:
+    """Index of the first position where two event streams differ.
+
+    Accepts lists of exported records (dicts) or :class:`TraceEvent`
+    objects. Returns ``None`` when the streams are identical (same
+    records, same length); when one stream is a strict prefix of the
+    other, the divergence index is the shorter length.
+
+    Two streams that share a long prefix are the common case (a kernel
+    regression fires thousands of events in before drifting), so the
+    search is binary, not linear: each record is hashed once into a
+    cumulative prefix digest, and prefix equality at any cut point is
+    then an O(1) comparison. Equal cumulative digests at index ``i``
+    mean the first ``i`` records agree — hashes are chained, so a
+    coincidental re-match after a divergence cannot fool the search.
+    """
+    a = list(a)
+    b = list(b)
+    n = min(len(a), len(b))
+
+    def prefixes(events: list[Any]) -> list[bytes]:
+        out: list[bytes] = []
+        h = hashlib.sha256()
+        for record in events[:n]:
+            h.update(_record_key(record))
+            out.append(h.digest())
+        return out
+
+    pa, pb = prefixes(a), prefixes(b)
+    if n and pa[n - 1] == pb[n - 1]:
+        return None if len(a) == len(b) else n
+    # Smallest i with prefix-digest mismatch == first diverging index.
+    lo, hi = 0, n - 1
+    while lo < hi:
+        mid = (lo + hi) // 2
+        if pa[mid] == pb[mid]:
+            lo = mid + 1
+        else:
+            hi = mid
+    if n == 0:
+        return None if len(a) == len(b) else 0
+    return lo
 
 
 def phase_durations(

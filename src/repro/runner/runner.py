@@ -115,10 +115,27 @@ def _stable_name(value: Any) -> str | None:
     return text
 
 
+#: Environment knobs that select a different implementation (or trace
+#: fidelity) for the *same* trial spec. They are part of the cache key:
+#: digests are pinned identical across kernels and schedulers, but the
+#: whole point of a verify run is to prove that — a cached
+#: default-kernel payload served to a reference-kernel run would turn
+#: the equivalence check into a tautology (and a count-only trace is
+#: genuinely a different payload).
+_MODE_ENV_VARS = ("REPRO_KERNEL", "REPRO_SCHEDULER", "REPRO_TRACE_COUNT_ONLY")
+
+
+def _env_mode() -> str:
+    return "\x00".join(f"{k}={os.environ.get(k, '')}" for k in _MODE_ENV_VARS)
+
+
 def spec_digest(experiment: str, fn: Callable, kwargs: dict[str, Any]) -> str | None:
     """Cache key for a trial spec, or ``None`` if any part of the spec
-    is unnameable — such specs are executed but never memoized."""
-    parts = [experiment, _stable_name(fn) or ""]
+    is unnameable — such specs are executed but never memoized. The key
+    also folds in the implementation-mode environment
+    (``REPRO_KERNEL``/``REPRO_SCHEDULER``/``REPRO_TRACE_COUNT_ONLY``)
+    so runs under different implementations never share cache entries."""
+    parts = [experiment, _stable_name(fn) or "", _env_mode()]
     if not parts[1]:
         return None
     for key in sorted(kwargs):

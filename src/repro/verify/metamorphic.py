@@ -1,0 +1,345 @@
+"""Metamorphic relations: properties that must hold across *related*
+runs.
+
+A single run has no oracle beyond the invariant suite — but a **pair**
+of runs does. Raising HDFS replication must never lose reduce output
+after a crash; adding an idle node must never stretch a fault-free
+job's critical path; a recurring task fault with ``repeat=N`` must
+produce exactly ``N`` extra attempts; a fault scheduled after job
+completion must be a byte-identical no-op. Each relation is a
+``(scenario, transform, oracle)`` triple: the transform derives the
+related spec, the oracle compares the two payloads.
+
+On failure the relation shrinks its scenario with the chaos campaign's
+greedy drop-one-fault minimizer (:func:`repro.faults.chaos.
+minimize_spec`, ``floor=0`` — a relation can fail with an empty
+schedule) and emits a self-contained JSON reproducer.
+
+Every run in a relation also runs the full invariant suite; an
+invariant violation in either leg fails the relation outright.
+"""
+
+from __future__ import annotations
+
+import copy
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable
+
+from repro.faults.chaos import minimize_spec
+from repro.sim.core import SimulationError
+from repro.verify.scenarios import run_verify_spec, scenario_spec
+
+__all__ = [
+    "RELATIONS",
+    "Relation",
+    "RelationResult",
+    "register_relation",
+    "run_all_relations",
+    "run_relation",
+]
+
+#: Placement noise allowance for "no worse" elapsed-time comparisons:
+#: changing the cluster shape reshuffles seeded block placement, which
+#: legitimately moves the critical path by a hair in either direction.
+_ELAPSED_SLACK = 1.02
+
+
+@dataclass(frozen=True)
+class Relation:
+    """One metamorphic relation.
+
+    ``transform`` maps the base spec to the related spec (pure — it
+    receives its own deep copy). ``oracle`` sees both payloads plus the
+    two specs and returns violation messages (empty = relation holds).
+    """
+
+    name: str
+    scenario: str
+    description: str
+    transform: Callable[[dict[str, Any]], dict[str, Any]]
+    oracle: Callable[..., list[str]]
+
+
+@dataclass
+class RelationResult:
+    relation: str
+    violations: list[str] = field(default_factory=list)
+    minimized_faults: list[dict[str, Any]] | None = None
+    reproducer: str | None = None
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+
+RELATIONS: dict[str, Relation] = {}
+
+
+def register_relation(relation: Relation) -> Relation:
+    if relation.name in RELATIONS:
+        raise SimulationError(f"duplicate relation name {relation.name!r}")
+    RELATIONS[relation.name] = relation
+    return relation
+
+
+# -- execution ---------------------------------------------------------------
+
+def _check_pair(relation: Relation, base_spec: dict[str, Any]) -> list[str]:
+    """Run base + transformed spec and apply the oracle (plus the
+    invariant suite on both legs)."""
+    variant_spec = relation.transform(copy.deepcopy(base_spec))
+    base = run_verify_spec(base_spec)
+    variant = run_verify_spec(variant_spec)
+    violations = [
+        f"{leg}: invariant violated — {v}"
+        for leg, payload in (("base", base), ("variant", variant))
+        for v in payload["invariant_violations"]
+    ]
+    violations.extend(relation.oracle(base, variant, base_spec, variant_spec))
+    return violations
+
+
+def run_relation(relation: Relation | str,
+                 out_dir: str | Path | None = None) -> RelationResult:
+    """Check one relation; on failure, shrink and emit a reproducer."""
+    if isinstance(relation, str):
+        try:
+            relation = RELATIONS[relation]
+        except KeyError:
+            raise SimulationError(f"unknown relation {relation!r}") from None
+    base_spec = scenario_spec(relation.scenario)
+    violations = _check_pair(relation, base_spec)
+    result = RelationResult(relation.name, violations)
+    if not violations:
+        return result
+
+    def still_fails(spec: dict[str, Any]) -> bool:
+        # A candidate the transform/oracle cannot even process (e.g. the
+        # transform indexes a fault the shrinker just dropped) is not a
+        # reproduction — keep that fault.
+        try:
+            return bool(_check_pair(relation, spec))
+        except Exception:
+            return False
+
+    minimized = minimize_spec(base_spec, violates=still_fails, floor=0)
+    result.minimized_faults = minimized["faults"]
+    reproducer = {
+        "relation": relation.name,
+        "description": relation.description,
+        "scenario": relation.scenario,
+        "violations": violations,
+        "spec": base_spec,
+        "minimized_faults": minimized["faults"],
+    }
+    if out_dir is not None:
+        path = Path(out_dir) / f"metamorphic-{relation.name}.json"
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(reproducer, indent=2, sort_keys=True) + "\n")
+        result.reproducer = str(path)
+    return result
+
+
+def run_all_relations(names: list[str] | None = None,
+                      out_dir: str | Path | None = None,
+                      echo=print) -> list[RelationResult]:
+    selected = list(RELATIONS) if names is None else names
+    results = []
+    for name in selected:
+        result = run_relation(name, out_dir=out_dir)
+        status = "ok" if result.ok else "FAILED"
+        echo(f"  {name:36s} {status}")
+        for v in result.violations:
+            echo(f"    - {v}")
+        if result.reproducer:
+            echo(f"    reproducer written to {result.reproducer}")
+        results.append(result)
+    return results
+
+
+# -- the relations -----------------------------------------------------------
+
+def _bump_replication(spec: dict[str, Any]) -> dict[str, Any]:
+    spec["replication"] += 1
+    return spec
+
+
+def _replication_oracle(base, variant, base_spec, variant_spec) -> list[str]:
+    out = []
+    if base["success"] and not variant["success"]:
+        out.append(f"raising replication {base_spec['replication']} -> "
+                   f"{variant_spec['replication']} turned a succeeding job "
+                   "into a failure")
+    if base["success"] and variant["reduce_commits"] != variant["num_reduces"]:
+        out.append(f"variant committed {variant['reduce_commits']} of "
+                   f"{variant['num_reduces']} reduce outputs")
+    return out
+
+
+register_relation(Relation(
+    name="replication-never-loses-output",
+    scenario="replication3-crash-alm",
+    description="Raising HdfsConfig.replication never loses reduce output "
+                "after a node crash: if the job succeeded at level r, it "
+                "still succeeds (with every reducer committed) at r+1.",
+    transform=_bump_replication,
+    oracle=_replication_oracle,
+))
+
+
+def _add_idle_node(spec: dict[str, Any]) -> dict[str, Any]:
+    spec["nodes"] += 1
+    return spec
+
+
+def _idle_node_oracle(base, variant, base_spec, variant_spec) -> list[str]:
+    if variant["elapsed"] > base["elapsed"] * _ELAPSED_SLACK:
+        return [f"adding an idle node stretched the fault-free critical path "
+                f"{base['elapsed']:.3f}s -> {variant['elapsed']:.3f}s "
+                f"(beyond the {_ELAPSED_SLACK:.0%} placement-noise allowance)"]
+    return []
+
+
+register_relation(Relation(
+    name="idle-node-never-hurts",
+    scenario="clean-terasort-yarn",
+    description="Adding an idle node leaves a no-fault job's critical path "
+                "no worse (modulo seeded-placement noise).",
+    transform=_add_idle_node,
+    oracle=_idle_node_oracle,
+))
+
+
+def _bump_repeat(spec: dict[str, Any]) -> dict[str, Any]:
+    spec["faults"][0]["repeat"] = spec["faults"][0].get("repeat", 1) + 1
+    return spec
+
+
+def _repeat_oracle(base, variant, base_spec, variant_spec) -> list[str]:
+    out = []
+    for leg, payload, spec in (("base", base, base_spec),
+                               ("variant", variant, variant_spec)):
+        want = spec["faults"][0].get("repeat", 1)
+        fired = payload["kinds"].get("fault_injected", 0)
+        if fired != want:
+            out.append(f"{leg}: repeat={want} task fault fired {fired} times")
+    extra = (variant["kinds"].get("attempt_start", 0)
+             - base["kinds"].get("attempt_start", 0))
+    if extra != 1:
+        out.append(f"one extra repeat must cost exactly one extra attempt, "
+                   f"got {extra}")
+    return out
+
+
+register_relation(Relation(
+    name="repeat-n-costs-n-attempts",
+    scenario="oom-reduce-yarn",
+    description="A repeat=N task fault fires exactly N times, and each "
+                "extra repeat produces exactly one extra attempt (N faults "
+                "-> N+1 attempts of the target task).",
+    transform=_bump_repeat,
+    oracle=_repeat_oracle,
+))
+
+
+def _add_post_completion_fault(spec: dict[str, Any]) -> dict[str, Any]:
+    spec["faults"] = list(spec["faults"]) + [
+        {"kind": "node-crash", "target": 0, "at_time": 90_000.0}]
+    return spec
+
+
+def _noop_oracle(base, variant, base_spec, variant_spec) -> list[str]:
+    if base["digest"] != variant["digest"]:
+        return [f"a fault scheduled after job completion changed the trace "
+                f"digest: {base['digest'][:12]} != {variant['digest'][:12]}"]
+    return []
+
+
+register_relation(Relation(
+    name="post-completion-fault-is-noop",
+    scenario="clean-terasort-yarn",
+    description="A fault scheduled after the job has completed is a no-op: "
+                "the trace digest is byte-identical to the fault-free run.",
+    transform=_add_post_completion_fault,
+    oracle=_noop_oracle,
+))
+
+
+def _double_liveness(spec: dict[str, Any]) -> dict[str, Any]:
+    spec["liveness"] *= 2.0
+    return spec
+
+
+def _liveness_oracle(base, variant, base_spec, variant_spec) -> list[str]:
+    out = []
+    for leg, payload in (("base", base), ("variant", variant)):
+        if payload["detect_latency"] is None:
+            out.append(f"{leg}: node crash was never detected (no node_lost)")
+    if out:
+        return out
+    if base["detect_latency"] > variant["detect_latency"]:
+        out.append(f"doubling the liveness timeout shortened detection "
+                   f"latency: {base['detect_latency']:.2f}s -> "
+                   f"{variant['detect_latency']:.2f}s")
+    return out
+
+
+register_relation(Relation(
+    name="detection-tracks-liveness-timeout",
+    scenario="crash-reducer-sfm",
+    description="Doubling the NM liveness timeout never shortens the "
+                "crash-to-node_lost detection latency (the paper's T_detect "
+                "scales with the configured timeout).",
+    transform=_double_liveness,
+    oracle=_liveness_oracle,
+))
+
+
+def _grow_input(spec: dict[str, Any]) -> dict[str, Any]:
+    spec["input_gb"] = round(spec["input_gb"] * 1.5, 6)
+    return spec
+
+
+def _scale_oracle(base, variant, base_spec, variant_spec) -> list[str]:
+    if variant["elapsed"] < base["elapsed"]:
+        return [f"a 1.5x larger input finished faster: {base['elapsed']:.3f}s "
+                f"-> {variant['elapsed']:.3f}s"]
+    return []
+
+
+register_relation(Relation(
+    name="input-scale-monotone",
+    scenario="clean-wordcount-alg",
+    description="Growing the input never makes a fault-free job finish "
+                "faster.",
+    transform=_grow_input,
+    oracle=_scale_oracle,
+))
+
+
+def _drop_faults(spec: dict[str, Any]) -> dict[str, Any]:
+    spec["faults"] = []
+    return spec
+
+
+def _fault_slowdown_oracle(base, variant, base_spec, variant_spec) -> list[str]:
+    out = []
+    if base["kinds"].get("fault_injected", 0) == 0:
+        out.append("base run never fired its fault — the relation is vacuous")
+    if variant["elapsed"] > base["elapsed"]:
+        out.append(f"removing the injected fault slowed the job down: "
+                   f"{base['elapsed']:.3f}s faulted vs "
+                   f"{variant['elapsed']:.3f}s clean")
+    return out
+
+
+register_relation(Relation(
+    name="fault-never-speeds-completion",
+    scenario="oom-reduce-yarn",
+    description="An injected task fault never makes the job finish earlier "
+                "than the fault-free run of the same scenario.",
+    transform=_drop_faults,
+    oracle=_fault_slowdown_oracle,
+))

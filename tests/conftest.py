@@ -11,6 +11,15 @@ from repro.workloads.workload import Workload
 from repro.yarn.rm import YarnConfig
 
 
+def pytest_collection_modifyitems(config, items):
+    """Every test not explicitly marked ``slow`` is tier-1, so the two
+    tiers partition the suite: ``-m "not slow"`` (the ROADMAP tier-1
+    command) and ``-m slow`` together run everything exactly once."""
+    for item in items:
+        if item.get_closest_marker("slow") is None:
+            item.add_marker(pytest.mark.tier1)
+
+
 def tiny_workload(
     input_mb: float = 512.0,
     reducers: int = 2,

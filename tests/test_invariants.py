@@ -92,6 +92,14 @@ class TestViolationDetection:
         violations = check_invariants(rt, res, names=["byte_conservation"])
         assert violations and "covered" in violations[0]
 
+    def test_time_travelling_trace_event_detected(self):
+        rt = make_runtime()
+        res = rt.run()
+        assert check_invariants(rt, res, names=["trace_monotonic"]) == []
+        rt.trace.events[10].time = rt.trace.events[9].time - 1.0
+        violations = check_invariants(rt, res, names=["trace_monotonic"])
+        assert violations and "logged after" in violations[0]
+
     def test_stall_flag_is_a_termination_violation(self):
         rt = make_runtime()
         res = rt.run()
@@ -123,7 +131,7 @@ class TestStallWatchdog:
     def test_registry_is_complete(self):
         assert set(INVARIANTS) == {
             "termination", "byte_conservation", "no_orphans",
-            "containers_released", "hdfs_consistency",
+            "containers_released", "hdfs_consistency", "trace_monotonic",
         }
 
 

@@ -15,6 +15,9 @@ from repro.mapreduce.tasks import TaskState
 
 from tests.conftest import make_runtime, tiny_workload
 
+# Hypothesis suites drive whole simulations per example: tier-2.
+pytestmark = pytest.mark.slow
+
 # Whole-job property tests are expensive; keep example counts small but
 # meaningful. Deadlines off: a single example runs a full simulation.
 _SETTINGS = dict(

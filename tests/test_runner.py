@@ -124,6 +124,30 @@ class TestTrialRunner:
         assert not other_kwargs[0].cached
         assert not other_name[0].cached
 
+    def test_cache_keyed_by_implementation_mode(self, tmp_path, monkeypatch):
+        """A cached payload must never leak across REPRO_KERNEL /
+        REPRO_SCHEDULER / REPRO_TRACE_COUNT_ONLY selections: the mode
+        environment is part of the memoization key, so swapping an
+        implementation re-executes instead of replaying the other
+        mode's trace digest."""
+        for var in ("REPRO_KERNEL", "REPRO_SCHEDULER", "REPRO_TRACE_COUNT_ONLY"):
+            monkeypatch.delenv(var, raising=False)
+        runner = TrialRunner(jobs=1, cache_dir=tmp_path, verify=False)
+
+        baseline = runner.run("mode", _square_trial, [5])
+        assert not baseline[0].cached
+        assert runner.run("mode", _square_trial, [5])[0].cached
+
+        for var in ("REPRO_KERNEL", "REPRO_SCHEDULER", "REPRO_TRACE_COUNT_ONLY"):
+            monkeypatch.setenv(var, "reference" if var != "REPRO_TRACE_COUNT_ONLY" else "1")
+            fresh = runner.run("mode", _square_trial, [5])
+            assert not fresh[0].cached, f"{var} leaked through the trial cache"
+            assert runner.run("mode", _square_trial, [5])[0].cached
+            monkeypatch.delenv(var)
+
+        # Back to the baseline environment: the original entry is intact.
+        assert runner.run("mode", _square_trial, [5])[0].cached
+
     def test_unnameable_spec_is_never_cached(self, tmp_path):
         runner = TrialRunner(jobs=1, cache_dir=tmp_path, verify=False)
         runner.run("lam", _factory_trial, [1], kwargs={"factory": lambda: 0})

@@ -10,6 +10,9 @@ from repro.hdfs import Hdfs, HdfsConfig, ReplicationLevel
 from repro.sim import Simulator
 from repro.yarn.rm import ResourceManager, YarnConfig
 
+# Hypothesis suites drive whole simulations per example: tier-2.
+pytestmark = pytest.mark.slow
+
 _SETTINGS = dict(
     max_examples=25,
     deadline=None,

@@ -1,0 +1,99 @@
+"""Metamorphic relations and their automatic shrinking path."""
+
+import json
+
+import pytest
+
+from repro.verify import RELATIONS, Relation, run_all_relations, run_relation
+from repro.verify.scenarios import SCENARIOS, Scenario, register
+
+
+def _quiet(*_args, **_kw):
+    pass
+
+
+class TestRelations:
+    def test_registry_meets_issue_floor(self):
+        assert len(RELATIONS) >= 6
+
+    @pytest.mark.parametrize("name", sorted(RELATIONS))
+    def test_relation_holds(self, name):
+        result = run_relation(name)
+        assert result.ok, result.violations
+        assert result.minimized_faults is None
+        assert result.reproducer is None
+
+    def test_run_all_relations_reports_every_one(self):
+        lines = []
+        results = run_all_relations(names=["post-completion-fault-is-noop"],
+                                    echo=lines.append)
+        assert len(results) == 1 and results[0].ok
+        assert any("ok" in line for line in lines)
+
+    def test_unknown_relation_rejected(self):
+        from repro.sim.core import SimulationError
+
+        with pytest.raises(SimulationError, match="unknown relation"):
+            run_relation("no-such-relation")
+
+
+@pytest.fixture
+def shrink_scenario():
+    """A scenario whose fault schedule holds one real culprit (an early
+    reduce OOM) buried between two post-completion decoy crashes that
+    never fire."""
+    name = "shrink-probe"
+    culprit = {"kind": "task-oom", "task_type": "reduce", "task_index": 0,
+               "at_progress": 0.5}
+    decoy = {"kind": "node-crash", "target": 0, "at_time": 90_000.0}
+    register(Scenario(name, faults=(decoy, culprit, dict(decoy, target=1))))
+    try:
+        yield name, culprit
+    finally:
+        del SCENARIOS[name]
+
+
+class TestShrinking:
+    def test_failure_shrinks_to_single_culprit_fault(self, shrink_scenario,
+                                                     tmp_path):
+        name, culprit = shrink_scenario
+        # A deliberately unsatisfiable oracle: it trips whenever the
+        # fault schedule fires at all, so only the culprit sustains the
+        # failure and the two decoys must be shrunk away.
+        probe = Relation(
+            name="shrink-probe-relation",
+            scenario=name,
+            description="test-only: fails iff any fault fires",
+            transform=lambda spec: spec,
+            oracle=lambda base, variant, *_: (
+                ["synthetic: a fault fired"]
+                if base["kinds"].get("fault_injected", 0) else []),
+        )
+        result = run_relation(probe, out_dir=tmp_path)
+        assert not result.ok
+        assert result.minimized_faults == [culprit]
+
+        reproducer = json.loads((tmp_path / "metamorphic-shrink-probe-"
+                                 "relation.json").read_text())
+        assert reproducer["relation"] == "shrink-probe-relation"
+        assert reproducer["scenario"] == name
+        assert reproducer["minimized_faults"] == [culprit]
+        assert reproducer["violations"] == ["synthetic: a fault fired"]
+        assert len(reproducer["spec"]["faults"]) == 3
+
+    def test_fault_independent_failure_shrinks_to_empty_schedule(
+            self, shrink_scenario, tmp_path):
+        """floor=0: a relation that fails regardless of the schedule
+        shrinks all the way to zero faults."""
+        name, _culprit = shrink_scenario
+        probe = Relation(
+            name="shrink-to-empty",
+            scenario=name,
+            description="test-only: always fails",
+            transform=lambda spec: spec,
+            oracle=lambda *_: ["synthetic: unconditional failure"],
+        )
+        result = run_relation(probe, out_dir=tmp_path)
+        assert not result.ok
+        assert result.minimized_faults == []
+        assert (tmp_path / "metamorphic-shrink-to-empty.json").exists()
