@@ -23,6 +23,16 @@ Commands
 
         python -m repro chaos --seed 7 --trials 50
 
+``campaign``
+    Durable, resumable campaign orchestration: every completed trial is
+    checkpointed into a sqlite store as it finishes, so a killed sweep
+    resumes losing nothing, e.g.::
+
+        python -m repro campaign submit --store sweeps.db --trials 100000
+        python -m repro campaign resume --store sweeps.db
+        python -m repro campaign status --store sweeps.db
+        python -m repro campaign export --store sweeps.db --out sweep.json
+
 ``verify``
     Differential verification: run the scenario corpus across the
     kernel x scheduler implementation matrix, check golden trace
@@ -164,6 +174,9 @@ def _build_parser() -> argparse.ArgumentParser:
     p_chaos.add_argument("--seed", type=int, default=7,
                          help="campaign seed: same seed = identical campaign")
     p_chaos.add_argument("--trials", type=int, default=50)
+    p_chaos.add_argument("--scale", type=float, default=None,
+                         help="input-size scale per trial (default 1.0, or "
+                              "0.5 under --smoke); part of the campaign id")
     p_chaos.add_argument("--smoke", action="store_true",
                          help="CI budget: smaller inputs, at most 30 trials")
     p_chaos.add_argument("--jobs", type=int, default=None, metavar="N",
@@ -175,6 +188,55 @@ def _build_parser() -> argparse.ArgumentParser:
                          help="skip greedy schedule minimization on violation")
     p_chaos.add_argument("--replay", metavar="FILE", default=None,
                          help="re-run a reproducer JSON instead of a campaign")
+    p_chaos.add_argument("--store", metavar="FILE", default=None,
+                         help="durable campaign store (sqlite): checkpoint "
+                              "every trial, resume a killed campaign via "
+                              "`repro campaign resume`")
+
+    p_camp = sub.add_parser(
+        "campaign",
+        help="durable, resumable campaigns: submit / resume / status / export")
+    camp_sub = p_camp.add_subparsers(dest="campaign_cmd", required=True)
+    c_submit = camp_sub.add_parser(
+        "submit", help="register a campaign and run it to completion")
+    c_submit.add_argument("--store", metavar="FILE", required=True,
+                          help="sqlite campaign store (created if missing)")
+    c_submit.add_argument("--spec", metavar="FILE", default=None,
+                          help="JSON campaign spec (any kind); without it a "
+                               "chaos campaign is built from the flags below")
+    c_submit.add_argument("--seed", type=int, default=7)
+    c_submit.add_argument("--trials", type=int, default=50)
+    c_submit.add_argument("--scale", type=float, default=1.0)
+    c_submit.add_argument("--strategy", default="fifo",
+                          choices=("fifo", "priority", "dependency"))
+    c_submit.add_argument("--jobs", type=int, default=None, metavar="N",
+                          help="fan trials across N worker processes")
+    c_submit.add_argument("--out", metavar="DIR", default=None,
+                          help="reproducer directory for chaos campaigns")
+    c_submit.add_argument("--no-minimize", action="store_true")
+    c_resume = camp_sub.add_parser(
+        "resume", help="resume an interrupted campaign from its store")
+    c_resume.add_argument("--store", metavar="FILE", required=True)
+    c_resume.add_argument("--id", default=None, metavar="PREFIX",
+                          help="campaign id prefix (default: the most "
+                               "recently updated incomplete campaign)")
+    c_resume.add_argument("--strategy", default="fifo",
+                          choices=("fifo", "priority", "dependency"))
+    c_resume.add_argument("--jobs", type=int, default=None, metavar="N")
+    c_resume.add_argument("--out", metavar="DIR", default=None)
+    c_resume.add_argument("--no-minimize", action="store_true")
+    c_status = camp_sub.add_parser(
+        "status", help="per-campaign progress and incremental aggregates")
+    c_status.add_argument("--store", metavar="FILE", required=True)
+    c_status.add_argument("--id", default=None, metavar="PREFIX")
+    c_export = camp_sub.add_parser(
+        "export", help="write one campaign (spec, trials, aggregates) as JSON")
+    c_export.add_argument("--store", metavar="FILE", required=True)
+    c_export.add_argument("--id", default=None, metavar="PREFIX",
+                          help="campaign id prefix (default: sole campaign)")
+    c_export.add_argument("--out", metavar="FILE", required=True)
+    c_export.add_argument("--payloads", action="store_true",
+                          help="include full per-trial payloads")
 
     p_verify = sub.add_parser(
         "verify",
@@ -199,6 +261,10 @@ def _build_parser() -> argparse.ArgumentParser:
     p_verify.add_argument("--out", metavar="DIR", default="chaos-reports",
                           help="directory for metamorphic reproducer JSON "
                                "files")
+    p_verify.add_argument("--store", metavar="FILE", default=None,
+                          help="durable campaign store for the matrix runs: "
+                               "a killed sweep resumes re-running only the "
+                               "missing scenario x combo cells")
 
     sub.add_parser("list", help="show workloads, policies and experiments")
     return parser
@@ -367,10 +433,24 @@ def cmd_chaos(args) -> int:
         return 1 if payload["violations"] else 0
 
     trials = min(args.trials, 30) if args.smoke else args.trials
-    scale = 0.5 if args.smoke else 1.0
-    summary = run_campaign(seed=args.seed, trials=trials, scale=scale,
-                           out_dir=args.out, minimize=not args.no_minimize)
-    print(f"chaos campaign seed={summary['seed']}: {summary['trials']} trials, "
+    scale = args.scale if args.scale is not None else (0.5 if args.smoke else 1.0)
+    try:
+        summary = run_campaign(seed=args.seed, trials=trials, scale=scale,
+                               out_dir=args.out, minimize=not args.no_minimize,
+                               store=args.store)
+    except KeyboardInterrupt:
+        if args.store:
+            print(f"\ninterrupted — completed trials are checkpointed; resume "
+                  f"with: python -m repro campaign resume --store {args.store}")
+        raise
+    _print_chaos_summary(summary)
+    return 1 if summary["violations"] else 0
+
+
+def _print_chaos_summary(summary) -> None:
+    resumed = f", {summary['skipped']} resumed from store" if summary.get("skipped") else ""
+    print(f"chaos campaign seed={summary['seed']}: {summary['trials']} trials"
+          f" ({summary['executed']} executed{resumed}), "
           f"{summary['jobs_failed']} job failures (legitimate), "
           f"{summary['violations']} invariant violations")
     print("  policies: " + ", ".join(
@@ -380,7 +460,138 @@ def cmd_chaos(args) -> int:
     if summary["violations"]:
         print("  violating trials: "
               + ", ".join(str(i) for i in summary["violating_trials"]))
-        return 1
+
+
+def cmd_campaign(args) -> int:
+    import json
+    import os
+
+    from repro.campaign import CampaignStore
+
+    if getattr(args, "jobs", None) is not None:
+        os.environ["REPRO_JOBS"] = str(max(1, args.jobs))
+
+    if args.campaign_cmd == "submit":
+        if args.spec is not None:
+            with open(args.spec) as fh:
+                spec = json.load(fh)
+        else:
+            spec = {"kind": "chaos", "seed": args.seed, "trials": args.trials,
+                    "scale": args.scale}
+        return _campaign_run_spec(spec, args)
+
+    if args.campaign_cmd == "resume":
+        with CampaignStore(args.store) as store:
+            row = store.campaign(args.id) if args.id else store.latest_incomplete()
+        if row is None:
+            print(f"no incomplete campaign in {args.store}")
+            return 1
+        return _campaign_run_spec(row["spec"], args)
+
+    if args.campaign_cmd == "status":
+        return _campaign_status(args)
+    return _campaign_export(args)
+
+
+def _planned_trials(spec) -> int:
+    if spec["kind"] == "chaos":
+        return int(spec["trials"])
+    if spec["kind"] == "verify-matrix":
+        return len(spec["jobs"])
+    return len(spec.get("seeds", ()))
+
+
+def _campaign_run_spec(spec, args) -> int:
+    from repro.campaign import (
+        CampaignScheduler,
+        CampaignStore,
+        aggregate_payloads,
+        build_plan,
+    )
+    from repro.faults.chaos import run_campaign
+
+    try:
+        if spec["kind"] == "chaos":
+            summary = run_campaign(
+                seed=spec["seed"], trials=spec["trials"],
+                scale=spec.get("scale", 1.0),
+                out_dir=getattr(args, "out", None),
+                minimize=not getattr(args, "no_minimize", False),
+                store=args.store, strategy=getattr(args, "strategy", "fifo"))
+            _print_chaos_summary(summary)
+            print(f"  campaign id: {summary['campaign_id']}  (store: {args.store})")
+            return 1 if summary["violations"] else 0
+        with CampaignStore(args.store) as store:
+            plan = build_plan(spec)
+            stats = CampaignScheduler(
+                store, strategy=getattr(args, "strategy", "fifo")).run(plan)
+            agg = aggregate_payloads(spec["kind"], store.payloads(stats["campaign_id"]))
+        print(f"campaign {stats['campaign_id'][:12]} ({spec['kind']}): "
+              f"{stats['trials']} trials, {stats['executed']} executed, "
+              f"{stats['skipped']} resumed from store, "
+              f"{stats['wall_seconds']:.1f}s")
+        print("  " + ", ".join(f"{k}={v}" for k, v in sorted(agg.items())
+                               if not isinstance(v, (list, dict))))
+        return 0
+    except KeyboardInterrupt:
+        print(f"\ninterrupted — completed trials are checkpointed; resume "
+              f"with: python -m repro campaign resume --store {args.store}")
+        return 130
+
+
+def _campaign_status(args) -> int:
+    from repro.campaign import CampaignStore, aggregate_payloads
+
+    with CampaignStore(args.store) as store:
+        if store.quarantined:
+            print(f"warning: corrupt store quarantined to {store.quarantined}")
+        rows = [store.campaign(args.id)] if args.id else store.campaigns()
+        if not rows:
+            print(f"no campaigns in {args.store}")
+            return 0
+        for row in rows:
+            spec = row["spec"]
+            counts = store.counts(row["campaign_id"])
+            total = _planned_trials(spec)
+            agg = aggregate_payloads(spec["kind"],
+                                     store.payloads(row["campaign_id"]))
+            line = (f"{row['campaign_id'][:12]}  {spec['kind']:13s} "
+                    f"{counts['done']}/{total} trials  {row['status']}")
+            if spec["kind"] == "chaos":
+                line += (f"  violations={agg['violations']} "
+                         f"jobs_failed={agg['jobs_failed']}")
+            if row["last_error"]:
+                line += f"  last_error={row['last_error']}"
+            print(line)
+    return 0
+
+
+def _campaign_export(args) -> int:
+    import json
+
+    from repro.campaign import CampaignStore, aggregate_payloads
+    from repro.runner import atomic_write_text
+
+    with CampaignStore(args.store) as store:
+        if args.id:
+            row = store.campaign(args.id)
+        else:
+            rows = store.campaigns()
+            if len(rows) != 1:
+                print(f"{args.store} holds {len(rows)} campaigns — pass --id")
+                return 1
+            row = rows[0]
+        cid = row["campaign_id"]
+        doc = {
+            "campaign": row,
+            "summary": aggregate_payloads(row["spec"]["kind"], store.payloads(cid)),
+            "counts": store.counts(cid),
+            "trials": store.trial_rows(cid),
+        }
+        if args.payloads:
+            doc["payloads"] = {seed: p for seed, p in store.payloads(cid)}
+    atomic_write_text(args.out, json.dumps(doc, indent=2, sort_keys=True) + "\n")
+    print(f"campaign {cid[:12]} exported to {args.out}")
     return 0
 
 
@@ -419,7 +630,8 @@ def cmd_verify(args) -> int:
               f"{len(combos)} kernel x scheduler combos):")
         try:
             report = run_matrix(names=args.scenario,
-                                quick=args.quick, combos=combos)
+                                quick=args.quick, combos=combos,
+                                store=args.store)
         except DivergenceError as exc:
             print(f"DIVERGENCE: {exc}")
             return 1
@@ -459,6 +671,8 @@ def main(argv: list[str] | None = None) -> int:
         return cmd_experiment(args)
     if args.command == "chaos":
         return cmd_chaos(args)
+    if args.command == "campaign":
+        return cmd_campaign(args)
     if args.command == "verify":
         return cmd_verify(args)
     return cmd_list(args)

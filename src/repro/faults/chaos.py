@@ -48,6 +48,7 @@ __all__ = [
     "build_fault",
     "generate_trial",
     "minimize_spec",
+    "reproducer_path",
     "run_campaign",
     "run_chaos_trial",
     "run_trial_spec",
@@ -328,6 +329,17 @@ def minimize_spec(
 
 # -- campaign driver ---------------------------------------------------------
 
+def reproducer_path(out_dir: str | Path, seed: int, scale: float,
+                    campaign_id: str, index: int) -> Path:
+    """Reproducer filename for one violating trial. Carries the scale
+    and the campaign digest as well as the seed: two campaigns with the
+    same seed but different ``--scale`` (or any other spec difference)
+    must never overwrite each other's reproducers in a shared ``--out``
+    directory."""
+    return (Path(out_dir) /
+            f"chaos-repro-s{seed}-x{scale:g}-{campaign_id[:8]}-t{index}.json")
+
+
 def run_campaign(
     seed: int,
     trials: int,
@@ -335,66 +347,80 @@ def run_campaign(
     out_dir: str | Path | None = None,
     minimize: bool = True,
     echo=print,
+    store: Any = None,
+    strategy: str = "fifo",
 ) -> dict[str, Any]:
-    """Run a campaign; write a reproducer per violating trial.
+    """Run (or resume) a campaign; write a reproducer per violating
+    trial.
 
-    Returns a summary dict with per-policy / per-kind coverage counts
-    and the list of violating trial indices.
+    ``store`` selects durability: ``None`` keeps the historical one-shot
+    behaviour (an ephemeral in-memory store), a path (or an open
+    :class:`~repro.campaign.CampaignStore`) makes the campaign durable —
+    every completed trial is checkpointed as it finishes, and calling
+    ``run_campaign`` again with the same spec and store (or ``python -m
+    repro campaign resume``) re-runs only what is missing.
+
+    Returns a summary dict with per-policy / per-kind coverage counts,
+    the violating trial indices, and resume accounting
+    (``executed``/``skipped``).
     """
-    from repro.runner import TrialRunner
+    from repro.campaign import CampaignScheduler, CampaignStore, aggregate_chaos, build_plan
+    from repro.runner import atomic_write_text
 
-    campaign = {"seed": int(seed), "scale": float(scale)}
-    results = TrialRunner().run(
-        experiment=f"chaos:{seed}:{scale}",
-        fn=run_chaos_trial,
-        seeds=list(range(trials)),
-        kwargs={"campaign": campaign},
-    )
-    by_policy: dict[str, int] = {}
-    by_kind: dict[str, int] = {}
-    failing: list[dict[str, Any]] = []
-    jobs_failed = 0
-    for r in results:
-        payload = r.payload
-        spec = payload["spec"]
-        by_policy[spec["policy"]] = by_policy.get(spec["policy"], 0) + 1
-        for f in spec["faults"]:
-            by_kind[f["kind"]] = by_kind.get(f["kind"], 0) + 1
-        if not payload["success"]:
-            jobs_failed += 1
-        if payload["violations"]:
-            failing.append(payload)
+    plan = build_plan({"kind": "chaos", "seed": int(seed),
+                       "trials": int(trials), "scale": float(scale)})
+    owns_store = not isinstance(store, CampaignStore)
+    opened = CampaignStore(store if store is not None else ":memory:") \
+        if owns_store else store
+    try:
+        scheduler = CampaignScheduler(opened, strategy=strategy)
+        run_stats = scheduler.run(plan)
+        campaign_id = run_stats["campaign_id"]
+        summary = aggregate_chaos(opened.payloads(campaign_id))
 
-    reproducers: list[str] = []
-    for payload in failing:
-        spec = payload["spec"]
-        echo(f"trial {spec['index']}: INVARIANT VIOLATION")
-        for v in payload["violations"]:
-            echo(f"  - {v}")
-        minimized = minimize_spec(spec) if minimize else spec
-        repro = {
-            "campaign_seed": seed,
-            "trial_index": spec["index"],
-            "violations": payload["violations"],
-            "spec": spec,
-            "minimized_faults": minimized["faults"],
+        reproducers: list[str] = []
+        for trial_index, payload in opened.payloads(campaign_id):
+            if not payload["violations"]:
+                continue
+            spec = payload["spec"]
+            echo(f"trial {spec['index']}: INVARIANT VIOLATION")
+            for v in payload["violations"]:
+                echo(f"  - {v}")
+            minimized = minimize_spec(spec) if minimize else spec
+            repro = {
+                "campaign_seed": seed,
+                "campaign_id": campaign_id,
+                "scale": scale,
+                "trial_index": spec["index"],
+                "violations": payload["violations"],
+                "spec": spec,
+                "minimized_faults": minimized["faults"],
+            }
+            if out_dir is not None:
+                path = reproducer_path(out_dir, seed, scale, campaign_id,
+                                       spec["index"])
+                path.parent.mkdir(parents=True, exist_ok=True)
+                atomic_write_text(path, json.dumps(repro, indent=2, sort_keys=True))
+                reproducers.append(str(path))
+                echo(f"  reproducer written to {path} "
+                     f"({len(minimized['faults'])}/{len(spec['faults'])} faults "
+                     "after minimization)")
+        return {
+            "seed": seed,
+            "trials": trials,
+            "scale": scale,
+            "campaign_id": campaign_id,
+            "executed": run_stats["executed"],
+            "skipped": run_stats["skipped"],
+            "wall_seconds": run_stats["wall_seconds"],
+            "violations": summary["violations"],
+            "violating_trials": summary["violating_trials"],
+            "jobs_failed": summary["jobs_failed"],
+            "by_policy": summary["by_policy"],
+            "by_kind": summary["by_kind"],
+            "reproducers": reproducers,
+            "digests": summary["digests"],
         }
-        if out_dir is not None:
-            path = Path(out_dir) / f"chaos-repro-s{seed}-t{spec['index']}.json"
-            path.parent.mkdir(parents=True, exist_ok=True)
-            path.write_text(json.dumps(repro, indent=2, sort_keys=True))
-            reproducers.append(str(path))
-            echo(f"  reproducer written to {path} "
-                 f"({len(minimized['faults'])}/{len(spec['faults'])} faults "
-                 "after minimization)")
-    return {
-        "seed": seed,
-        "trials": trials,
-        "violations": len(failing),
-        "violating_trials": [p["spec"]["index"] for p in failing],
-        "jobs_failed": jobs_failed,
-        "by_policy": by_policy,
-        "by_kind": by_kind,
-        "reproducers": reproducers,
-        "digests": [r.payload["digest"] for r in results],
-    }
+    finally:
+        if owns_store:
+            opened.close()

@@ -6,6 +6,7 @@ from repro.runner.runner import (
     TrialError,
     TrialResult,
     TrialRunner,
+    atomic_write_text,
     jobs_from_env,
     shutdown_pools,
     spec_digest,
@@ -17,6 +18,7 @@ __all__ = [
     "TrialError",
     "TrialResult",
     "TrialRunner",
+    "atomic_write_text",
     "jobs_from_env",
     "shutdown_pools",
     "spec_digest",

@@ -48,11 +48,28 @@ __all__ = [
     "TrialError",
     "TrialResult",
     "TrialRunner",
+    "atomic_write_text",
     "jobs_from_env",
     "shutdown_pools",
     "spec_digest",
     "trace_digest",
 ]
+
+
+def atomic_write_text(path: str | Path, text: str) -> None:
+    """Crash-durable file write: write to a temp file in the same
+    directory, then :func:`os.replace` it into place. A kill mid-write
+    leaves at worst a stray temp file — readers never observe a torn
+    half-written file at ``path``. Used for every artifact the repo
+    relies on surviving a crash: trial-cache entries, chaos/metamorphic
+    reproducers, golden digests, campaign exports."""
+    path = Path(path)
+    tmp = path.with_name(f".{path.name}.tmp.{os.getpid()}")
+    try:
+        tmp.write_text(text)
+        os.replace(tmp, path)
+    finally:
+        tmp.unlink(missing_ok=True)
 
 
 class DeterminismError(RuntimeError):
@@ -285,30 +302,43 @@ class TrialRunner:
         fn: Callable[..., dict[str, Any]],
         seeds: Sequence[int],
         kwargs: dict[str, Any] | None = None,
+        on_result: Callable[[TrialResult], None] | None = None,
     ) -> list[TrialResult]:
         """Run ``fn(seed, **kwargs)`` for every seed; results come back
-        in seed-argument order regardless of completion order."""
+        in seed-argument order regardless of completion order.
+
+        ``on_result`` is invoked once per trial *as each result becomes
+        available* (cache hits immediately, fresh results in completion
+        order) — the hook durable stores build on: results observed
+        through it survive a ``KeyboardInterrupt`` mid-fan-out, which
+        flushes every already-completed trial before re-raising."""
         kwargs = dict(kwargs or {})
         cache_key = spec_digest(experiment, fn, kwargs) if self.cache_dir else None
 
         results: dict[int, TrialResult] = {}
+
+        def emit(result: TrialResult) -> None:
+            if not result.cached:
+                self._cache_store(cache_key, result.seed, result.payload)
+            results[result.seed] = result
+            if on_result is not None:
+                on_result(result)
+
         todo: list[int] = []
         for seed in seeds:
             payload = self._cache_load(cache_key, seed)
             if payload is not None:
-                results[seed] = TrialResult(experiment, seed, payload, cached=True)
+                emit(TrialResult(experiment, seed, payload, cached=True))
             else:
                 todo.append(seed)
 
         if todo:
             if (self.jobs > 1 and len(todo) > 1 and _parallel_viable()
                     and _spec_picklable(fn, kwargs)):
-                fresh = self._run_parallel(experiment, fn, todo, kwargs)
+                self._run_parallel(experiment, fn, todo, kwargs, emit, results)
             else:
-                fresh = {s: self._run_one(experiment, fn, s, kwargs) for s in todo}
-            for seed, result in fresh.items():
-                self._cache_store(cache_key, seed, result.payload)
-                results[seed] = result
+                for s in todo:
+                    emit(self._run_one(experiment, fn, s, kwargs))
 
         ordered = [results[s] for s in seeds]
         self._check_invariant_payloads(experiment, ordered)
@@ -342,26 +372,35 @@ class TrialRunner:
         return TrialResult(experiment, seed, payload, wall_seconds=wall)
 
     def _run_parallel(self, experiment: str, fn: Callable, seeds: list[int],
-                      kwargs: dict[str, Any]) -> dict[int, TrialResult]:
+                      kwargs: dict[str, Any], emit: Callable[[TrialResult], None],
+                      done: dict[int, TrialResult]) -> None:
         workers = min(self.jobs, len(seeds))
         try:
-            return self._submit_all(experiment, fn, seeds, kwargs, workers)
+            self._submit_all(experiment, fn, seeds, kwargs, workers, emit)
         except BrokenProcessPool:
             # A worker died (OOM kill, crash): drop the poisoned pool
-            # and retry once on a fresh one before giving up.
+            # and retry once on a fresh one before giving up. Seeds whose
+            # chunks already completed were emitted and are not re-run.
             _discard_pool(workers)
-            return self._submit_all(experiment, fn, seeds, kwargs, workers)
+            remaining = [s for s in seeds if s not in done]
+            if remaining:
+                self._submit_all(experiment, fn, remaining, kwargs, workers, emit)
 
     def _submit_all(self, experiment: str, fn: Callable, seeds: list[int],
-                    kwargs: dict[str, Any], workers: int) -> dict[int, TrialResult]:
+                    kwargs: dict[str, Any], workers: int,
+                    emit: Callable[[TrialResult], None]) -> None:
         pool = _get_pool(workers)
-        out: dict[int, TrialResult] = {}
         chunk_size = -(-len(seeds) // workers)  # ceil division
         futures = {}
         for start in range(0, len(seeds), chunk_size):
             block = seeds[start:start + chunk_size]
             futures[pool.submit(_invoke_chunk, experiment, fn, block, kwargs)] = block
-        for future in as_completed(futures):
+        consumed: set = set()
+
+        def consume(future) -> None:
+            if future in consumed:
+                return
+            consumed.add(future)
             try:
                 rows = future.result()
             except BrokenProcessPool:
@@ -377,8 +416,25 @@ class TrialRunner:
                     f"with {type(exc).__name__}: {exc}"
                 ) from exc
             for seed, payload, wall in rows:
-                out[seed] = TrialResult(experiment, seed, payload, wall_seconds=wall)
-        return out
+                emit(TrialResult(experiment, seed, payload, wall_seconds=wall))
+
+        try:
+            for future in as_completed(futures):
+                consume(future)
+        except KeyboardInterrupt:
+            # Ctrl-C mid-fan-out: flush every chunk that already finished
+            # (so a durable store loses nothing), cancel what never
+            # started, and tear the pool down — otherwise the cached
+            # persistent pool keeps its worker children running until
+            # interpreter exit.
+            for future in futures:
+                if future.done() and not future.cancelled():
+                    try:
+                        consume(future)
+                    except Exception:
+                        pass  # best-effort flush; the interrupt wins
+            _discard_pool(workers)  # shutdown + cancel pending futures
+            raise
 
     def _verify_first(self, experiment: str, fn: Callable,
                       kwargs: dict[str, Any], reference: TrialResult) -> None:
@@ -411,7 +467,10 @@ class TrialRunner:
         path = self._cache_path(cache_key, seed)
         try:
             path.parent.mkdir(parents=True, exist_ok=True)
-            path.write_text(json.dumps({"seed": seed, "payload": payload}))
+            # Atomic: a kill mid-write must not leave a torn JSON file
+            # that _cache_load silently discards — that would defeat
+            # resume for the trial that *did* complete.
+            atomic_write_text(path, json.dumps({"seed": seed, "payload": payload}))
         except (OSError, TypeError, ValueError):
             # Unserialisable payloads / read-only dirs: skip the cache,
             # never fail the trial.

@@ -169,6 +169,7 @@ def run_matrix(
     quick: bool = False,
     mutations: dict[tuple[str, str, str], str] | None = None,
     echo=print,
+    store: Any = None,
 ) -> dict[str, Any]:
     """Run the corpus across the implementation matrix.
 
@@ -178,8 +179,16 @@ def run_matrix(
     golden comparison. ``mutations`` maps ``(scenario, kernel,
     scheduler)`` to a test-only perturbation name — how the tests prove
     a divergence is caught and reported.
+
+    The matrix runs on the campaign layer: with ``store`` (a path or an
+    open :class:`~repro.campaign.CampaignStore`) every scenario × combo
+    run is checkpointed as it completes, so a killed full-matrix sweep
+    resumes via the same call (or ``python -m repro campaign resume``)
+    re-running only the missing cells; ``None`` keeps the one-shot
+    in-memory behaviour.
     """
-    from repro.runner import TrialRunner
+    from repro.campaign import CampaignScheduler, CampaignStore, build_plan
+    from repro.invariants import InvariantViolation
 
     scenarios = quick_corpus() if quick and names is None else corpus(names)
     jobs: list[tuple[str, str, str, str]] = []
@@ -188,17 +197,30 @@ def run_matrix(
             mutate = (mutations or {}).get((scenario.name, kernel, scheduler), "")
             jobs.append((scenario.name, kernel, scheduler, mutate))
 
-    results = TrialRunner().run(
-        experiment="verify-matrix",
-        fn=run_matrix_trial,
-        seeds=list(range(len(jobs))),
-        kwargs={"jobs": tuple(jobs)},
-    )
+    plan = build_plan({"kind": "verify-matrix", "jobs": [list(j) for j in jobs]})
+    owns_store = not isinstance(store, CampaignStore)
+    opened = CampaignStore(store if store is not None else ":memory:") \
+        if owns_store else store
+    try:
+        stats = CampaignScheduler(opened).run(plan)
+        payloads = dict(opened.payloads(stats["campaign_id"]))
+    finally:
+        if owns_store:
+            opened.close()
+
+    # Trials loaded from a resumed store bypassed the runner's payload
+    # check — re-assert here so a violating cell can never slip through.
+    violating = [f"verify-matrix seed {seed}: {v}"
+                 for seed, payload in sorted(payloads.items())
+                 for v in (payload.get("invariant_violations") or ())]
+    if violating:
+        raise InvariantViolation(violating)
+
     by_scenario: dict[str, list[tuple[int, tuple[str, str], dict]]] = {}
-    for seed, result in enumerate(results):
+    for seed in range(len(jobs)):
         name = jobs[seed][0]
         by_scenario.setdefault(name, []).append(
-            (seed, (jobs[seed][1], jobs[seed][2]), result.payload))
+            (seed, (jobs[seed][1], jobs[seed][2]), payloads[seed]))
 
     digests: dict[str, str] = {}
     for scenario in scenarios:
@@ -266,7 +288,11 @@ def check_golden(digests: dict[str, str]) -> list[str]:
 
 
 def refresh_golden(digests: dict[str, str]) -> Path:
+    from repro.runner import atomic_write_text
+
     path = golden_path()
     path.parent.mkdir(parents=True, exist_ok=True)
-    path.write_text(json.dumps(digests, indent=2, sort_keys=True) + "\n")
+    # Atomic: the golden file is the corpus's source of truth — a kill
+    # mid-refresh must not leave it torn.
+    atomic_write_text(path, json.dumps(digests, indent=2, sort_keys=True) + "\n")
     return path

@@ -135,9 +135,11 @@ def run_relation(relation: Relation | str,
         "minimized_faults": minimized["faults"],
     }
     if out_dir is not None:
+        from repro.runner import atomic_write_text
+
         path = Path(out_dir) / f"metamorphic-{relation.name}.json"
         path.parent.mkdir(parents=True, exist_ok=True)
-        path.write_text(json.dumps(reproducer, indent=2, sort_keys=True) + "\n")
+        atomic_write_text(path, json.dumps(reproducer, indent=2, sort_keys=True) + "\n")
         result.reproducer = str(path)
     return result
 

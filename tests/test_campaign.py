@@ -1,0 +1,303 @@
+"""The durable campaign layer: store semantics, scheduler strategies,
+plan building, and the crash-durability primitives (atomic writes, torn
+file recovery, corrupt-store quarantine)."""
+
+import json
+import os
+
+import pytest
+
+from repro.campaign import (
+    STRATEGIES,
+    CampaignPlan,
+    CampaignScheduler,
+    CampaignStore,
+    StoreError,
+    TrialSpec,
+    aggregate_chaos,
+    build_plan,
+    resolve_function,
+)
+from repro.faults.chaos import reproducer_path, run_campaign
+from repro.runner import TrialRunner, atomic_write_text
+
+
+def _toy_trial(seed, offset=0):
+    return {"value": seed * seed + offset, "success": True, "digest": f"d{seed}"}
+
+
+def _toy_plan(seeds, priority=None, depends=None, experiment="toy"):
+    return CampaignPlan(
+        spec={"kind": "function", "fn": "tests.test_campaign:_toy_trial",
+              "experiment": experiment, "seeds": list(seeds)},
+        experiment=experiment,
+        fn=_toy_trial,
+        kwargs={},
+        trials=[TrialSpec(s, (priority or {}).get(s, 0),
+                          tuple((depends or {}).get(s, ())))
+                for s in seeds],
+    )
+
+
+def _completion_order(store, campaign_id):
+    """Seeds in the order they were recorded (sqlite rowid order)."""
+    rows = store._conn.execute(
+        "SELECT seed FROM trials WHERE campaign_id = ? ORDER BY rowid",
+        (campaign_id,)).fetchall()
+    return [r[0] for r in rows]
+
+
+class TestStore:
+    def test_register_and_lookup_by_prefix(self, tmp_path):
+        with CampaignStore(tmp_path / "c.db") as store:
+            store.register("a" * 64, {"kind": "function", "seeds": [1]})
+            row = store.campaign("aaaa")
+            assert row["campaign_id"] == "a" * 64
+            assert row["status"] == "running"
+            with pytest.raises(StoreError):
+                store.campaign("ffff")
+
+    def test_ambiguous_prefix_rejected(self, tmp_path):
+        with CampaignStore(tmp_path / "c.db") as store:
+            store.register("ab" + "0" * 62, {"kind": "function"})
+            store.register("ab" + "1" * 62, {"kind": "function"})
+            with pytest.raises(StoreError, match="ambiguous"):
+                store.campaign("ab")
+
+    def test_record_trial_upsert_counts_runs(self):
+        with CampaignStore() as store:
+            store.register("c1", {})
+            store.record_trial("c1", 5, {"digest": "x"}, wall_seconds=0.1)
+            assert store.max_run_count("c1") == 1
+            store.record_trial("c1", 5, {"digest": "x"}, wall_seconds=0.2)
+            assert store.max_run_count("c1") == 1 + 1
+            assert store.completed_seeds("c1") == {5}
+            assert store.counts("c1")["done"] == 1
+
+    def test_payloads_and_digests_in_seed_order(self):
+        with CampaignStore() as store:
+            store.register("c1", {})
+            for seed in (3, 1, 2):
+                store.record_trial("c1", seed, {"digest": f"d{seed}", "seed": seed})
+            assert [s for s, _ in store.payloads("c1")] == [1, 2, 3]
+            assert store.digests("c1") == ["d1", "d2", "d3"]
+
+    def test_latest_incomplete_and_status(self):
+        with CampaignStore() as store:
+            store.register("c1", {"kind": "function"})
+            store.register("c2", {"kind": "function"})
+            store.mark_status("c2", "complete")
+            assert store.latest_incomplete()["campaign_id"] == "c1"
+            store.mark_status("c1", "complete")
+            assert store.latest_incomplete() is None
+
+    def test_reregister_reopens_completed_campaign(self):
+        with CampaignStore() as store:
+            store.register("c1", {"trials": 5})
+            store.mark_status("c1", "complete", error=None)
+            store.register("c1", {"trials": 9})
+            row = store.campaign("c1")
+            assert row["status"] == "running"
+            assert row["spec"] == {"trials": 9}
+
+    def test_corrupt_store_quarantined(self, tmp_path):
+        path = tmp_path / "c.db"
+        path.write_bytes(b"this is not a sqlite database, not even close" * 100)
+        with CampaignStore(path) as store:
+            assert store.quarantined is not None
+            assert os.path.exists(store.quarantined)
+            # ... and the fresh store at the original path works.
+            store.register("c1", {})
+            store.record_trial("c1", 1, {"digest": "d"})
+            assert store.completed_seeds("c1") == {1}
+
+
+class TestAtomicWrite:
+    def test_write_and_overwrite(self, tmp_path):
+        target = tmp_path / "out.json"
+        atomic_write_text(target, "one")
+        atomic_write_text(target, "two")
+        assert target.read_text() == "two"
+        # No temp files left behind in the directory.
+        assert [p.name for p in tmp_path.iterdir()] == ["out.json"]
+
+    def test_torn_cache_file_recovered(self, tmp_path):
+        """A torn (half-written) runner cache entry is discarded, the
+        trial re-runs, and the entry is rewritten valid — resume-through
+        -cache survives a kill mid-write."""
+        runner = TrialRunner(jobs=1, cache_dir=tmp_path, verify=False)
+        [r1] = runner.run("torn", _toy_trial, [4])
+        cache_files = list(tmp_path.rglob("*.json"))
+        assert len(cache_files) == 1
+        valid = cache_files[0].read_text()
+        cache_files[0].write_text(valid[:len(valid) // 2])  # tear it
+        [r2] = runner.run("torn", _toy_trial, [4])
+        assert not r2.cached  # torn entry discarded, trial re-ran
+        assert r2.payload == r1.payload
+        assert json.loads(cache_files[0].read_text())["payload"] == r1.payload
+        [r3] = runner.run("torn", _toy_trial, [4])
+        assert r3.cached  # rewritten entry is valid again
+
+
+class TestScheduler:
+    def test_fifo_runs_in_submission_order(self):
+        with CampaignStore() as store:
+            plan = _toy_plan([5, 3, 9, 1])
+            CampaignScheduler(store, strategy="fifo").run(plan)
+            assert _completion_order(store, plan.campaign_id()) == [5, 3, 9, 1]
+
+    def test_priority_runs_high_first(self):
+        with CampaignStore() as store:
+            plan = _toy_plan([1, 2, 3, 4], priority={2: 5, 4: 9})
+            CampaignScheduler(store, strategy="priority").run(plan)
+            assert _completion_order(store, plan.campaign_id()) == [4, 2, 1, 3]
+
+    def test_dependency_respects_deps_across_batches(self):
+        with CampaignStore() as store:
+            # 1 depends on 3, 3 depends on 2: only 2 is initially ready.
+            plan = _toy_plan([1, 2, 3], depends={1: (3,), 3: (2,)})
+            CampaignScheduler(store, strategy="dependency", batch_size=1).run(plan)
+            assert _completion_order(store, plan.campaign_id()) == [2, 3, 1]
+
+    def test_dependency_deadlock_names_stuck_seeds(self):
+        with CampaignStore() as store:
+            plan = _toy_plan([1, 2], depends={1: (2,), 2: (1,)})
+            with pytest.raises(StoreError, match="deadlock"):
+                CampaignScheduler(store, strategy="dependency").run(plan)
+
+    def test_dependency_satisfied_by_stored_trials(self):
+        """A dependency completed in a *previous* (killed) run counts:
+        resume must not deadlock on already-done prerequisites."""
+        with CampaignStore() as store:
+            plan = _toy_plan([1, 2], depends={2: (1,)})
+            store.register(plan.campaign_id(), plan.spec)
+            store.record_trial(plan.campaign_id(), 1, _toy_trial(1))
+            summary = CampaignScheduler(store, strategy="dependency").run(plan)
+            assert summary["executed"] == 1 and summary["skipped"] == 1
+
+    def test_unknown_strategy_rejected(self):
+        with CampaignStore() as store:
+            with pytest.raises(StoreError, match="strategy"):
+                CampaignScheduler(store, strategy="random")
+        assert set(STRATEGIES) == {"fifo", "priority", "dependency"}
+
+    def test_unnameable_fn_is_not_durable(self):
+        plan = CampaignPlan(spec={}, experiment="bad", fn=lambda s: {}, kwargs={})
+        with pytest.raises(StoreError, match="not durable"):
+            plan.campaign_id()
+
+    def test_resume_skips_completed(self):
+        with CampaignStore() as store:
+            plan = _toy_plan(range(6))
+            first = CampaignScheduler(store).run(plan)
+            again = CampaignScheduler(store).run(plan)
+            assert (first["executed"], first["skipped"]) == (6, 0)
+            assert (again["executed"], again["skipped"]) == (0, 6)
+            assert store.max_run_count(plan.campaign_id()) == 1
+
+    def test_raising_trial_checkpoints_error_and_completed_work(self):
+        def _boom(seed):
+            if seed == 2:
+                raise ValueError("boom")
+            return {"seed": seed}
+        _boom.__module__ = _toy_trial.__module__
+        _boom.__qualname__ = "unique_boom_fn"
+        with CampaignStore() as store:
+            plan = CampaignPlan(spec={"kind": "function"}, experiment="boom",
+                                fn=_boom, trials=[TrialSpec(s) for s in (1, 2, 3)])
+            with pytest.raises(Exception, match="boom"):
+                CampaignScheduler(store).run(plan)
+            cid = plan.campaign_id()
+            assert 1 in store.completed_seeds(cid)  # pre-failure work kept
+            row = store.campaign(cid)
+            assert row["status"] == "running"
+            assert "boom" in row["last_error"]
+
+
+class TestPlans:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(StoreError, match="kind"):
+            build_plan({"kind": "nope"})
+
+    def test_resolve_function_both_syntaxes(self):
+        assert resolve_function("tests.test_campaign:_toy_trial") is _toy_trial
+        assert resolve_function("tests.test_campaign._toy_trial") is _toy_trial
+        for bad in ("nosuchmodule.zz:fn", "tests.test_campaign:nope", "bare"):
+            with pytest.raises(StoreError):
+                resolve_function(bad)
+
+    def test_chaos_plan_rebuilds_from_stored_spec(self):
+        plan = build_plan({"kind": "chaos", "seed": 3, "trials": 5, "scale": 0.5})
+        rebuilt = build_plan(plan.spec)
+        assert rebuilt.campaign_id() == plan.campaign_id()
+        assert [t.seed for t in rebuilt.trials] == [0, 1, 2, 3, 4]
+
+    def test_function_plan_carries_priority_and_deps(self):
+        plan = build_plan({
+            "kind": "function", "fn": "tests.test_campaign:_toy_trial",
+            "seeds": [1, 2], "priority": {"2": 7}, "depends_on": {"2": [1]},
+        })
+        assert plan.trials[1] == TrialSpec(2, 7, (1,))
+
+    def test_matrix_plan_round_trips_jobs(self):
+        jobs = [["clean-terasort-yarn", "default", "default", ""]]
+        plan = build_plan({"kind": "verify-matrix", "jobs": jobs})
+        assert plan.kwargs["jobs"] == (("clean-terasort-yarn", "default",
+                                       "default", ""),)
+        assert build_plan(plan.spec).campaign_id() == plan.campaign_id()
+
+    def test_aggregate_chaos_streams_counters(self):
+        payloads = [
+            (0, {"spec": {"index": 0, "policy": "yarn",
+                          "faults": [{"kind": "task-oom"}]},
+                 "success": True, "violations": [], "digest": "d0"}),
+            (1, {"spec": {"index": 1, "policy": "alg",
+                          "faults": [{"kind": "rack"}, {"kind": "task-oom"}]},
+                 "success": False, "violations": ["bad"], "digest": "d1"}),
+        ]
+        agg = aggregate_chaos(iter(payloads))
+        assert agg["by_policy"] == {"yarn": 1, "alg": 1}
+        assert agg["by_kind"] == {"task-oom": 2, "rack": 1}
+        assert agg["jobs_failed"] == 1
+        assert agg["violating_trials"] == [1]
+        assert agg["digests"] == ["d0", "d1"]
+
+
+class TestReproducerPath:
+    def test_distinct_per_scale_and_campaign(self, tmp_path):
+        """Same seed, different scale (or campaign) must never collide
+        in a shared --out directory."""
+        a = reproducer_path(tmp_path, 7, 1.0, "aabbccdd" * 8, 3)
+        b = reproducer_path(tmp_path, 7, 0.5, "aabbccdd" * 8, 3)
+        c = reproducer_path(tmp_path, 7, 1.0, "eeffeeff" * 8, 3)
+        assert len({a, b, c}) == 3
+        assert "s7" in a.name and "x0.5" in b.name and "t3" in a.name
+
+
+class TestChaosCampaignOnStore:
+    def test_one_shot_summary_shape_unchanged(self):
+        summary = run_campaign(seed=7, trials=4, scale=0.25, out_dir=None,
+                               minimize=False, echo=lambda *_: None)
+        assert summary["trials"] == 4
+        assert summary["executed"] == 4 and summary["skipped"] == 0
+        assert len(summary["digests"]) == 4
+        assert sum(summary["by_policy"].values()) == 4
+
+    def test_durable_rerun_executes_nothing(self, tmp_path):
+        db = tmp_path / "c.db"
+        kw = dict(seed=7, trials=4, scale=0.25, out_dir=None, minimize=False,
+                  echo=lambda *_: None, store=db)
+        first = run_campaign(**kw)
+        second = run_campaign(**kw)
+        assert second["executed"] == 0 and second["skipped"] == 4
+        assert second["digests"] == first["digests"]
+        with CampaignStore(db) as store:
+            assert store.max_run_count(first["campaign_id"]) == 1
+
+    def test_extending_trials_reuses_prefix(self, tmp_path):
+        db = tmp_path / "c.db"
+        kw = dict(seed=7, scale=0.25, out_dir=None, minimize=False,
+                  echo=lambda *_: None, store=db)
+        run_campaign(trials=3, **kw)
+        extended = run_campaign(trials=5, **kw)
+        assert extended["skipped"] == 3 and extended["executed"] == 2

@@ -1,0 +1,156 @@
+"""Crash/resume durability: SIGKILL a campaign mid-run in a subprocess,
+resume it, and prove the result is bit-identical to an uninterrupted
+run with zero re-executed trials — the harness-level version of the
+paper's no-restart-from-scratch recovery contract."""
+
+import os
+import signal
+import sqlite3
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+import repro
+from repro.campaign import CampaignStore
+from repro.faults.chaos import run_campaign
+
+SRC_DIR = str(Path(repro.__file__).resolve().parents[1])
+
+
+def _spawn_campaign(store: Path, seed: int, trials: int, scale: float):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = SRC_DIR + os.pathsep + env.get("PYTHONPATH", "")
+    env.pop("REPRO_JOBS", None)  # serial child: finest checkpoint granularity
+    return subprocess.Popen(
+        [sys.executable, "-m", "repro", "campaign", "submit",
+         "--store", str(store), "--seed", str(seed),
+         "--trials", str(trials), "--scale", str(scale)],
+        env=env, stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL)
+
+
+def _trials_done(store: Path) -> int:
+    try:
+        conn = sqlite3.connect(store, timeout=5.0)
+        try:
+            return conn.execute("SELECT COUNT(*) FROM trials").fetchone()[0]
+        finally:
+            conn.close()
+    except sqlite3.Error:
+        return 0
+
+
+def _kill_at(proc, store: Path, threshold: int, deadline: float = 120.0) -> int:
+    """SIGKILL ``proc`` once the store holds >= threshold trials;
+    returns the observed count at the kill."""
+    t0 = time.monotonic()
+    while time.monotonic() - t0 < deadline:
+        done = _trials_done(store)
+        if done >= threshold:
+            proc.kill()
+            proc.wait()
+            return done
+        if proc.poll() is not None:
+            return _trials_done(store)
+        time.sleep(0.02)
+    proc.kill()
+    proc.wait()
+    raise AssertionError(f"campaign never reached {threshold} trials")
+
+
+def _kill_resume_roundtrip(tmp_path, seed: int, trials: int, scale: float,
+                           threshold: int) -> None:
+    store_path = tmp_path / "campaign.db"
+    proc = _spawn_campaign(store_path, seed, trials, scale)
+    done_at_kill = _kill_at(proc, store_path, threshold)
+    if done_at_kill >= trials:
+        pytest.skip("campaign finished before the kill landed")
+    assert 0 < done_at_kill < trials
+
+    resumed = run_campaign(seed=seed, trials=trials, scale=scale,
+                           out_dir=None, minimize=False,
+                           echo=lambda *_: None, store=store_path)
+    # Exactly the missing trials ran; nothing was re-executed. (The
+    # store may have gained a few more rows between the count read and
+    # the SIGKILL landing — run_count is the authoritative check.)
+    assert resumed["skipped"] >= done_at_kill
+    assert resumed["executed"] == trials - resumed["skipped"]
+    with CampaignStore(store_path) as store:
+        assert store.max_run_count(resumed["campaign_id"]) == 1
+        assert store.campaign(resumed["campaign_id"])["status"] == "complete"
+
+    fresh = run_campaign(seed=seed, trials=trials, scale=scale,
+                         out_dir=None, minimize=False, echo=lambda *_: None)
+    assert resumed["digests"] == fresh["digests"]
+    assert len(resumed["digests"]) == trials
+
+
+class TestKillResume:
+    def test_sigkill_mid_campaign_resumes_bit_identical(self, tmp_path):
+        _kill_resume_roundtrip(tmp_path, seed=11, trials=60, scale=0.25,
+                               threshold=8)
+
+    @pytest.mark.slow
+    def test_1000_trial_campaign_sigkill_resume(self, tmp_path):
+        """The acceptance-criteria scale: a 1000-trial chaos campaign
+        killed around the midpoint resumes losing nothing."""
+        _kill_resume_roundtrip(tmp_path, seed=7, trials=1000, scale=0.25,
+                               threshold=500)
+
+
+class TestTornStore:
+    def test_corrupt_store_quarantined_and_rebuilt(self, tmp_path):
+        """A store file torn beyond sqlite's own crash-safety (disk
+        fault, truncation, an errant writer) is quarantined and the
+        campaign re-runs from scratch — degraded, never wedged."""
+        db = tmp_path / "c.db"
+        kw = dict(seed=7, trials=4, scale=0.25, out_dir=None, minimize=False,
+                  echo=lambda *_: None)
+        first = run_campaign(store=db, **kw)
+        db.write_bytes(b"\x00garbage" * 4096)  # tear the whole file
+        for suffix in ("-wal", "-shm"):
+            Path(str(db) + suffix).unlink(missing_ok=True)
+
+        resumed = run_campaign(store=db, **kw)
+        assert resumed["executed"] == 4  # nothing salvageable: full re-run
+        assert resumed["digests"] == first["digests"]
+        assert list(tmp_path.glob("c.db.corrupt-*"))  # original preserved
+
+    def test_sigkill_never_corrupts_the_store(self, tmp_path):
+        """The WAL store after a SIGKILL opens clean — no quarantine,
+        all recorded rows intact and parseable."""
+        store_path = tmp_path / "campaign.db"
+        proc = _spawn_campaign(store_path, seed=3, trials=60, scale=0.25)
+        done = _kill_at(proc, store_path, threshold=5)
+        with CampaignStore(store_path) as store:
+            assert store.quarantined is None
+            [row] = store.campaigns()
+            payloads = dict(store.payloads(row["campaign_id"]))
+            assert len(payloads) >= min(done, 5)
+            for payload in payloads.values():
+                assert "digest" in payload and "spec" in payload
+
+
+class TestCampaignCLI:
+    def test_resume_status_export_flow(self, tmp_path, capsys):
+        from repro.cli import main
+
+        db = str(tmp_path / "c.db")
+        assert main(["campaign", "submit", "--store", db, "--seed", "7",
+                     "--trials", "3", "--scale", "0.25"]) == 0
+        assert main(["campaign", "status", "--store", db]) == 0
+        out = capsys.readouterr().out
+        assert "3/3 trials" in out and "complete" in out
+        # Nothing incomplete: resume refuses politely.
+        assert main(["campaign", "resume", "--store", db]) == 1
+        export = tmp_path / "export.json"
+        assert main(["campaign", "export", "--store", db,
+                     "--out", str(export)]) == 0
+        import json
+
+        doc = json.loads(export.read_text())
+        assert doc["counts"]["done"] == 3
+        assert len(doc["trials"]) == 3
+        assert doc["summary"]["violations"] == 0

@@ -165,6 +165,55 @@ class TestTrialRunner:
         assert results[0].payload["value"] == 16
 
 
+class TestResultStreaming:
+    """The ``on_result`` hook durable campaign stores build on."""
+
+    def test_on_result_sees_every_trial_as_it_completes(self, tmp_path):
+        runner = TrialRunner(jobs=1, cache_dir=tmp_path, verify=False)
+        runner.run("stream", _square_trial, [1, 2])
+        seen = []
+        runner.run("stream", _square_trial, [1, 2, 3],
+                   on_result=lambda r: seen.append((r.seed, r.cached)))
+        assert seen == [(1, True), (2, True), (3, False)]
+
+    def test_cache_written_incrementally(self, tmp_path):
+        """Each trial's cache entry lands as the trial completes, not
+        at end of run — observed from inside the next trial."""
+        runner = TrialRunner(jobs=1, cache_dir=tmp_path, verify=False)
+        counts = []
+        runner.run("incr", _square_trial, [1, 2, 3],
+                   on_result=lambda r: counts.append(
+                       len(list(tmp_path.rglob("*.json")))))
+        assert counts == [1, 2, 3]
+
+    def test_keyboard_interrupt_flushes_completed_and_tears_down_pool(
+            self, monkeypatch):
+        """Ctrl-C mid-fan-out: results that already completed are still
+        delivered (and cached), pending futures are cancelled, and the
+        persistent pool is shut down rather than left running until
+        interpreter exit."""
+        import repro.runner.runner as rr
+
+        monkeypatch.setenv("REPRO_FORCE_PARALLEL", "1")
+        real_as_completed = rr.as_completed
+
+        def interrupting(futures):
+            it = real_as_completed(futures)
+            yield next(it)  # deliver one chunk...
+            raise KeyboardInterrupt  # ...then the user hits Ctrl-C
+
+        monkeypatch.setattr(rr, "as_completed", interrupting)
+        seen = []
+        with pytest.raises(KeyboardInterrupt):
+            TrialRunner(jobs=2, verify=False).run(
+                "ki", _square_trial, [1, 2, 3, 4],
+                on_result=lambda r: seen.append(r.seed))
+        assert seen  # the completed chunk was flushed, not dropped
+        assert len(seen) == len(set(seen))  # and flushed exactly once
+        assert all(s in (1, 2, 3, 4) for s in seen)
+        assert 2 not in rr._POOLS  # the pool was discarded, not leaked
+
+
 class TestExperimentIntegration:
     def test_averaged_job_time_matches_direct_loop(self):
         """Routing through the runner must not change the numbers the
