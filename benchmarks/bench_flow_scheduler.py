@@ -15,10 +15,18 @@ admissions + completions + cancellations — a scheduler-independent
 count of the work the scenario demands), alongside event-heap pushes,
 which show the stale-timer traffic the cancellable timer eliminates.
 
+A second sweep scales the *cluster* rather than the wave: the same
+bounded shuffle window (128 active nodes) inside clusters of 512 to
+10,000 nodes. Model work is constant, so events/sec staying flat is
+direct evidence the admission/completion/cancellation hot loops carry
+no O(cluster) term — only the once-per-wave reachable scan touches all
+nodes, and that is a single vectorized pass over the liveness columns.
+
 Numbers land in ``BENCH_flows.json`` at the repo root; the acceptance
-bar is >=5x events/sec on the 128-node wave. ``--smoke`` (script mode,
-used by CI) runs the 8-node scenario under both schedulers and asserts
-exact agreement without touching the JSON.
+bar is >=5x events/sec on the 128-node wave and a flat cluster-scaling
+curve. ``--smoke`` (script mode, used by CI) runs the 8-node scenario
+under both schedulers and asserts exact agreement without touching the
+JSON.
 """
 
 import argparse
@@ -33,13 +41,18 @@ from repro.cluster.node import MB
 from repro.sim.core import Simulator
 
 NODE_COUNTS = [8, 32, 128]
+#: Cluster sizes for the fixed-window scaling sweep (incremental only).
+SCALING_NODE_COUNTS = [512, 4096, 10000]
+SCALING_WINDOW = 128
 FANIN = 4
 
 
 def _driver(sim: Simulator, cluster: Cluster, waves: int, kill_wave: int,
-            wave_ends: list):
+            wave_ends: list, window: int | None = None):
     for w in range(waves):
         reachable = cluster.reachable_nodes()
+        if window is not None:
+            reachable = reachable[:window]
         n = len(reachable)
         flows = []
         with cluster.flows.batch():
@@ -92,6 +105,30 @@ def run_scenario(scheduler: str, nodes: int, waves: int) -> dict:
     }
 
 
+def run_scaling(nodes: int, waves: int = 3, window: int = SCALING_WINDOW) -> dict:
+    """Fixed shuffle window inside an ``nodes``-node cluster, default
+    (incremental) scheduler: constant model work, growing cluster."""
+    sim = Simulator()
+    cluster = Cluster(sim, ClusterSpec(num_nodes=nodes, num_racks=2, seed=7))
+    wave_ends: list = []
+    t0 = time.perf_counter()
+    done = sim.process(_driver(sim, cluster, waves, kill_wave=waves // 2,
+                               wave_ends=wave_ends, window=window))
+    sim.run(done)
+    wall = time.perf_counter() - t0
+    stats = cluster.flows.stats
+    model_events = stats["transfers"] + stats["completions"] + stats["cancels"]
+    return {
+        "nodes": nodes,
+        "window": window,
+        "waves": waves,
+        "model_events": model_events,
+        "wall_seconds": round(wall, 4),
+        "events_per_sec": round(model_events / max(wall, 1e-9), 1),
+        "finish_time": round(sim.now, 6),
+    }
+
+
 def compare_schedulers(nodes: int, waves: int) -> dict:
     ref = run_scenario("reference", nodes, waves)
     inc = run_scenario("incremental", nodes, waves)
@@ -122,8 +159,9 @@ def test_flow_scheduler_throughput(report):
     for nodes in NODE_COUNTS:
         waves = 4 if nodes <= 32 else 2
         rows.append(compare_schedulers(nodes, waves))
+    scaling = [run_scaling(nodes) for nodes in SCALING_NODE_COUNTS]
 
-    payload = {"fanin": FANIN, "sweep": rows}
+    payload = {"fanin": FANIN, "sweep": rows, "cluster_scaling": scaling}
     out = Path(__file__).resolve().parents[1] / "BENCH_flows.json"
     out.write_text(json.dumps(payload, indent=2) + "\n")
 
@@ -134,6 +172,12 @@ def test_flow_scheduler_throughput(report):
     big = rows[-1]
     assert big["nodes"] == 128
     assert big["events_per_sec_speedup"] >= 5.0, big
+    # Constant model work must not slow down with cluster size: an
+    # O(cluster) term in the per-flow hot loops would sink events/sec
+    # as nodes grow 512 -> 10,000 with the window fixed.
+    assert all(row["model_events"] == scaling[0]["model_events"] for row in scaling)
+    eps = [row["events_per_sec"] for row in scaling]
+    assert min(eps) >= 0.5 * eps[0], scaling
 
 
 def main(argv=None) -> int:

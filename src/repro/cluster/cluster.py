@@ -23,6 +23,7 @@ from typing import Iterable
 import numpy as np
 
 from repro.cluster.node import GB, MB, Node, NodeSpec, Rack
+from repro.sim.columns import LivenessColumns, columnar_enabled
 from repro.sim.core import Event, SimulationError, Simulator
 from repro.sim.flows import Flow, FlowScheduler, LinkResource
 
@@ -80,10 +81,17 @@ class Cluster:
         self.rng = np.random.default_rng(self.spec.seed)
         self.core_link = LinkResource("core-switch", self.spec.core_bandwidth)
         self.racks = [Rack(i) for i in range(self.spec.num_racks)]
+        #: Dense per-node_id liveness arrays; every node dual-writes
+        #: its alive/network_up flips here (repro.sim.columns). The
+        #: mirror is maintained in both data-plane modes (writes are
+        #: rare fault events); the mode only selects who *reads* it.
+        self.columns = LivenessColumns(self.spec.num_nodes)
+        self._columnar = columnar_enabled()
         self.nodes: list[Node] = []
         for i in range(self.spec.num_nodes):
             rack = self.racks[i % self.spec.num_racks]
             node = Node(i, rack, self.spec.node)
+            node._liveness = self.columns
             rack.add(node)
             self.nodes.append(node)
         #: Listeners invoked as fn(node) when a node dies or loses network.
@@ -99,10 +107,21 @@ class Cluster:
         return self.nodes[node_id]
 
     def alive_nodes(self) -> list[Node]:
+        if self._columnar:
+            nodes = self.nodes
+            return [nodes[i] for i in np.flatnonzero(self.columns.alive)]
         return [n for n in self.nodes if n.alive]
 
     def reachable_nodes(self) -> list[Node]:
+        if self._columnar:
+            nodes = self.nodes
+            return [nodes[i] for i in np.flatnonzero(self.columns.reachable)]
         return [n for n in self.nodes if n.reachable]
+
+    def reachable_mask(self) -> np.ndarray:
+        """Per-``node_id`` reachability as a bool array (read-only by
+        convention); the form batched ticks and fault pickers consume."""
+        return self.columns.reachable
 
     def same_rack(self, a: Node, b: Node) -> bool:
         return a.rack is b.rack

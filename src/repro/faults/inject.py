@@ -276,10 +276,13 @@ class NodeFault:
             reducer_nodes = {
                 a.node for t in rt.am.reduce_tasks for a in t.running_attempts()
             }
+            # One vectorized mask read instead of a per-node property
+            # chain: same values, cheaper on 10k-node fleets.
+            reachable = rt.cluster.reachable_mask()
             candidates = [
                 (len(rt.am.registry.on_node(n)), n)
                 for n in rt.workers
-                if n.reachable and n not in reducer_nodes
+                if reachable[n.node_id] and n not in reducer_nodes
                 and len(rt.am.registry.on_node(n)) > 0
             ]
             if not candidates:

@@ -163,15 +163,15 @@ class MapReduceRuntime:
         """Everything that moves when the job is making progress. Flow
         byte counts make long single transfers register as activity even
         though they schedule no events while in flight."""
-        moved = sum(f.transferred for f in self.cluster.flows.active_flows)
+        flows = self.cluster.flows
         return (
-            len(self.trace.events),
+            self.trace.total_events(),
             self.am.completed_maps,
             self.am.committed_reduces,
             round(self.am.map_phase_progress(), 9),
             round(self.am.reduce_phase_progress(), 9),
-            len(self.cluster.flows.active_flows),
-            round(moved, 3),
+            flows.active_count,
+            round(flows.total_transferred(), 3),
         )
 
     def _watchdog(self, timeout: float | None, stall_timeout: float | None):

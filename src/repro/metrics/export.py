@@ -16,11 +16,9 @@ __all__ = ["export_result_json", "export_series_csv", "result_summary", "trace_r
 
 
 def trace_records(trace: Trace) -> list[dict[str, Any]]:
-    """Flatten trace events into JSON-serialisable records."""
-    return [
-        {"time": e.time, "kind": e.kind, **_jsonable(e.data)}
-        for e in trace.events
-    ]
+    """Flatten trace events into JSON-serialisable records (regular
+    events and columnar rows interleaved in log order)."""
+    return list(trace.iter_records())
 
 
 def result_summary(result: "JobResult") -> dict[str, Any]:
@@ -66,11 +64,3 @@ def export_series_csv(trace: Trace, name: str, path: str | Path) -> Path:
     return path
 
 
-def _jsonable(data: dict[str, Any]) -> dict[str, Any]:
-    out = {}
-    for k, v in data.items():
-        if isinstance(v, (str, int, float, bool)) or v is None:
-            out[k] = v
-        else:
-            out[k] = str(v)
-    return out

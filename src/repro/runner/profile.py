@@ -29,7 +29,8 @@ from typing import TYPE_CHECKING, Iterator
 if TYPE_CHECKING:  # pragma: no cover
     from repro.metrics.trace import Trace
 
-__all__ = ["maybe_profile", "profiling_enabled", "subsystem_counts"]
+__all__ = ["maybe_profile", "periodic_times", "profiling_enabled",
+           "reset_periodic_times", "subsystem_counts", "wrap_periodic"]
 
 #: Trace-event kind prefix -> subsystem label for the profile report.
 _SUBSYSTEMS = {
@@ -59,6 +60,46 @@ def profiling_enabled() -> bool:
     return os.environ.get("REPRO_PROFILE", "") not in ("", "0")
 
 
+#: name -> [calls, total seconds] for periodic callbacks, accumulated
+#: by the wrappers :meth:`~repro.sim.core.Simulator.periodic` installs
+#: when profiling is enabled. Name-keyed, so the 10k per-NM heartbeats
+#: of the scalar plane aggregate per node while the batched daemons
+#: report as single rows — the view that says which *daemon* is the
+#: next hot loop, which cProfile's per-function rows cannot.
+_PERIODIC_TIMES: dict[str, list] = {}
+
+
+def wrap_periodic(fn, name: str | None):
+    """Wrap a periodic callback so its wall time accrues under
+    ``name``. The wrapper passes the return value through unchanged
+    (periodics stop on ``False``) and adds two clock reads per tick."""
+    import time
+
+    bucket = _PERIODIC_TIMES.setdefault(name or "<unnamed>", [0, 0.0])
+    perf_counter = time.perf_counter
+
+    def timed():
+        t0 = perf_counter()
+        try:
+            return fn()
+        finally:
+            bucket[0] += 1
+            bucket[1] += perf_counter() - t0
+
+    return timed
+
+
+def periodic_times(top: int | None = None) -> list[tuple[str, int, float]]:
+    """``(name, calls, total_seconds)`` rows, most expensive first."""
+    rows = sorted(((name, calls, secs) for name, (calls, secs) in _PERIODIC_TIMES.items()),
+                  key=lambda row: -row[2])
+    return rows[:top] if top else rows
+
+
+def reset_periodic_times() -> None:
+    _PERIODIC_TIMES.clear()
+
+
 @contextmanager
 def maybe_profile(tag: str) -> Iterator[None]:
     """Profile the enclosed block when ``REPRO_PROFILE`` is set;
@@ -67,6 +108,7 @@ def maybe_profile(tag: str) -> Iterator[None]:
     if raw in ("", "0"):
         yield
         return
+    reset_periodic_times()
     prof = cProfile.Profile()
     prof.enable()
     try:
@@ -80,6 +122,12 @@ def maybe_profile(tag: str) -> Iterator[None]:
         stats.sort_stats("cumulative").print_stats(15)
         print(f"--- profile [{tag}] ---", file=sys.stderr)
         print(buf.getvalue(), file=sys.stderr)
+        rows = periodic_times(top=10)
+        if rows:
+            print(f"--- periodic callbacks [{tag}] (top {len(rows)} by total time) ---",
+                  file=sys.stderr)
+            for name, calls, secs in rows:
+                print(f"  {secs * 1e3:10.2f} ms {calls:>10} calls  {name}", file=sys.stderr)
 
 
 def subsystem_counts(trace: "Trace") -> dict[str, int]:

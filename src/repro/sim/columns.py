@@ -1,0 +1,250 @@
+"""Columnar data plane: cluster-wide node state in numpy arrays.
+
+At 10k nodes the per-object representation of node state (one
+``NodeManager`` attribute write per heartbeat, one python attribute
+read per liveness/scheduling probe) is the hot loop. This module holds
+that state as *columns* — one preallocated numpy array per field,
+one slot per node — so the control-plane daemons become single
+vectorized passes: ``hb[mask] = now`` stamps every heartbeat at an
+instant, ``np.flatnonzero(now - hb >= timeout)`` finds every overdue
+node, and the scheduler's least-loaded scan is an array max.
+
+Two cooperating pieces:
+
+- :class:`ColumnStore` — a generic slotted struct-of-arrays with
+  amortized-doubling growth and LIFO free-slot reuse. Users allocate a
+  slot per entity and either read/write columns directly (vectorized
+  passes) or through a :class:`Handle` (attribute-style scalar access,
+  used by tests and cold paths).
+- :class:`LivenessColumns` — the cluster's ``alive``/``network_up``
+  bool arrays, dense by ``node_id``. :class:`~repro.cluster.node.Node`
+  dual-writes its liveness flips into these (writes are rare fault
+  events), so batched ticks can test reachability without touching
+  node objects.
+
+``REPRO_DATA_PLANE=reference`` selects the pre-columnar scalar
+representation (per-object attributes, one pure periodic per node
+manager) — the equivalence oracle, mirroring ``REPRO_KERNEL`` and
+``REPRO_SCHEDULER``. Both planes are byte-identical by construction:
+the same values are written at the same instants in the same relative
+order, so seeded trace digests do not move (see DESIGN.md §11 for the
+ordering argument; ``python -m repro verify`` enforces it).
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Any
+
+import numpy as np
+
+from repro.sim.core import SimulationError
+
+__all__ = [
+    "ColumnStore",
+    "Handle",
+    "LivenessColumns",
+    "columnar_enabled",
+    "data_plane_mode",
+]
+
+
+def data_plane_mode() -> str:
+    """The node-state representation selected by ``REPRO_DATA_PLANE``:
+    ``columnar`` (default) or ``reference`` (per-object scalar state,
+    the pre-columnar implementation kept as an equivalence oracle)."""
+    choice = os.environ.get("REPRO_DATA_PLANE", "").strip().lower()
+    if choice in ("", "columnar"):
+        return "columnar"
+    if choice in ("reference", "scalar"):
+        return "reference"
+    raise SimulationError(f"unknown REPRO_DATA_PLANE {choice!r}")
+
+
+def columnar_enabled() -> bool:
+    return data_plane_mode() == "columnar"
+
+
+class ColumnStore:
+    """Slotted struct-of-arrays storage.
+
+    ``schema`` maps field name -> numpy dtype string. Every allocated
+    slot owns one cell of every column. Capacity grows by amortized
+    doubling; freed slots are reused LIFO, so a free immediately
+    followed by an alloc returns the *same* slot — which is what keeps
+    slot order aligned with registration order across node
+    re-registrations (see ``yarn.rm``).
+
+    Vectorized readers must slice columns to ``[:store.size]`` (the
+    high-water mark) and mask with :attr:`used`: cells past the mark
+    are uninitialised, cells of freed slots are stale until realloc.
+    ``alloc`` zero-fills every field it is not given a value for, so a
+    reused slot never leaks its previous occupant's state.
+    """
+
+    __slots__ = ("_schema", "_cols", "used", "size", "_free")
+
+    def __init__(self, schema: dict[str, str], capacity: int = 8) -> None:
+        if not schema:
+            raise SimulationError("ColumnStore needs at least one field")
+        self._schema = dict(schema)
+        cap = max(int(capacity), 1)
+        self._cols = {name: np.zeros(cap, dtype=dt) for name, dt in self._schema.items()}
+        #: Per-slot liveness mask (True between alloc and free).
+        self.used = np.zeros(cap, dtype=bool)
+        #: High-water mark: slots >= size have never been allocated.
+        self.size = 0
+        self._free: list[int] = []
+
+    def __len__(self) -> int:
+        """Number of live (allocated, unfreed) slots."""
+        return self.size - len(self._free)
+
+    @property
+    def capacity(self) -> int:
+        return len(self.used)
+
+    @property
+    def fields(self) -> tuple[str, ...]:
+        return tuple(self._schema)
+
+    def col(self, name: str) -> np.ndarray:
+        """The full backing array for ``name``; slice to ``[:size]``."""
+        return self._cols[name]
+
+    def alloc(self, **values: Any) -> int:
+        """Claim a slot, zero-fill it, apply ``values``; return it."""
+        unknown = [k for k in values if k not in self._cols]
+        if unknown:
+            raise SimulationError(f"unknown column(s): {', '.join(unknown)}")
+        if self._free:
+            slot = self._free.pop()
+        else:
+            slot = self.size
+            if slot >= self.capacity:
+                self._grow()
+            self.size += 1
+        for name, arr in self._cols.items():
+            arr[slot] = values[name] if name in values else 0
+        self.used[slot] = True
+        return slot
+
+    def alloc_many(self, count: int, **values: Any) -> np.ndarray:
+        """Claim ``count`` slots in one vectorized pass; returns them.
+
+        Each value may be a scalar (broadcast) or an array of length
+        ``count``. Free slots are reused (LIFO) before fresh ones, and
+        every field not given a value is zero-filled, exactly as
+        :meth:`alloc` does one at a time. This is the construction-time
+        bulk path: ``REPRO_PROFILE`` at 4096 nodes showed the per-NM
+        ``alloc`` loop as the hottest remaining loop once the periodic
+        ticks were vectorized.
+        """
+        if count < 0:
+            raise SimulationError(f"alloc_many of {count} slots")
+        unknown = [k for k in values if k not in self._cols]
+        if unknown:
+            raise SimulationError(f"unknown column(s): {', '.join(unknown)}")
+        slots = np.empty(count, dtype="i8")
+        reused = min(len(self._free), count)
+        for i in range(reused):
+            slots[i] = self._free.pop()
+        fresh = count - reused
+        if fresh:
+            while self.size + fresh > self.capacity:
+                self._grow()
+            slots[reused:] = np.arange(self.size, self.size + fresh)
+            self.size += fresh
+        for name, arr in self._cols.items():
+            arr[slots] = values.get(name, 0)
+        self.used[slots] = True
+        return slots
+
+    def free(self, slot: int) -> None:
+        """Release a slot for LIFO reuse. Stale column values remain
+        readable until the slot is reallocated — holders of dead
+        handles must not be trusted past this point."""
+        if not (0 <= slot < self.size) or not self.used[slot]:
+            raise SimulationError(f"free of unallocated slot {slot}")
+        self.used[slot] = False
+        self._free.append(slot)
+
+    def _grow(self) -> None:
+        new_cap = max(self.capacity * 2, 8)
+        for name, arr in self._cols.items():
+            grown = np.zeros(new_cap, dtype=arr.dtype)
+            grown[: len(arr)] = arr
+            self._cols[name] = grown
+        grown_used = np.zeros(new_cap, dtype=bool)
+        grown_used[: len(self.used)] = self.used
+        self.used = grown_used
+
+    # -- scalar access ----------------------------------------------------
+    def get(self, slot: int, name: str) -> Any:
+        """One cell as a plain python scalar (``.item()``), so values
+        that flow onward into traces/JSON keep native types."""
+        return self._cols[name][slot].item()
+
+    def set(self, slot: int, name: str, value: Any) -> None:
+        self._cols[name][slot] = value
+
+    def handle(self, slot: int) -> "Handle":
+        return Handle(self, slot)
+
+
+class Handle:
+    """Attribute-style view of one :class:`ColumnStore` slot.
+
+    ``h.field`` reads and ``h.field = v`` writes the underlying cell;
+    equivalent to instance attributes on a per-entity object, which is
+    exactly the property the equivalence tests pin.
+    """
+
+    __slots__ = ("_store", "_slot")
+
+    def __init__(self, store: ColumnStore, slot: int) -> None:
+        object.__setattr__(self, "_store", store)
+        object.__setattr__(self, "_slot", slot)
+
+    @property
+    def slot(self) -> int:
+        return self._slot
+
+    def __getattr__(self, name: str) -> Any:
+        try:
+            return self._store.get(self._slot, name)
+        except KeyError:
+            raise AttributeError(name) from None
+
+    def __setattr__(self, name: str, value: Any) -> None:
+        try:
+            self._store.set(self._slot, name, value)
+        except KeyError:
+            raise AttributeError(name) from None
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        cells = {name: self._store.get(self._slot, name) for name in self._store.fields}
+        return f"<Handle slot={self._slot} {cells}>"
+
+
+class LivenessColumns:
+    """Dense per-``node_id`` liveness arrays for one cluster.
+
+    Nodes dual-write their ``alive``/``network_up`` flips here (rare:
+    fault injections and recoveries), so hot batched ticks read
+    reachability as one indexed array load instead of two python
+    property calls per node. ``reachable`` is maintained eagerly as
+    ``alive & network_up`` — the only form the hot paths consume.
+    """
+
+    __slots__ = ("alive", "net", "reachable")
+
+    def __init__(self, num_nodes: int) -> None:
+        self.alive = np.ones(num_nodes, dtype=bool)
+        self.net = np.ones(num_nodes, dtype=bool)
+        self.reachable = np.ones(num_nodes, dtype=bool)
+
+    def update(self, node_id: int, alive: bool, network_up: bool) -> None:
+        self.alive[node_id] = alive
+        self.net[node_id] = network_up
+        self.reachable[node_id] = alive and network_up

@@ -609,7 +609,8 @@ class Simulator:
     # The run loop stores _now/_seq once per event; slot storage keeps
     # those off a dict lookup.
     __slots__ = ("_now", "_heap", "_seq", "_active_process",
-                 "_free_timeouts", "_stale", "_pooling", "_nfast")
+                 "_free_timeouts", "_stale", "_pooling", "_nfast",
+                 "_batch_abort")
 
     #: Compaction threshold: rebuild the heap once at least this many
     #: cancelled timeouts are buried in it *and* they outnumber the live
@@ -635,6 +636,13 @@ class Simulator:
         self._pooling = not _reference_kernel()
         #: Live started-pure-periodic count; gates the batch tick path.
         self._nfast = 0
+        #: Instant whose batch tick aborted (an impure event shares it).
+        #: Every later event at this instant skips the batch attempt:
+        #: without this, each of an n-member cohort retries the O(heap)
+        #: scan only to hit the same abort — O(n^2) per shared instant.
+        #: Time is monotonic, so a stale value can never match again;
+        #: events appended mid-instant see the abort already cached.
+        self._batch_abort = -1.0
 
     @property
     def now(self) -> float:
@@ -676,7 +684,17 @@ class Simulator:
         the two representations schedule identically (see
         :class:`Periodic`). Under ``REPRO_KERNEL=reference`` the
         generator representation itself is used.
+
+        With ``REPRO_PROFILE`` set, ``fn`` is wrapped to accumulate
+        per-callback wall time keyed by ``name`` (see
+        :func:`repro.runner.profile.periodic_times`); the wrapper
+        passes the return value through, so the ``False``-stop contract
+        and purity are unaffected.
         """
+        if os.environ.get("REPRO_PROFILE", "") not in ("", "0"):
+            from repro.runner.profile import wrap_periodic
+
+            fn = wrap_periodic(fn, name)
         if not self._pooling:
             return _GeneratorPeriodic(self, interval, fn, immediate, name)
         return Periodic(self, interval, fn, immediate=immediate, pure=pure, name=name)
@@ -767,6 +785,7 @@ class Simulator:
             elif type(entry[3]) is Periodic and entry[3]._cancelled:
                 entry[3]._processed = True
             else:
+                self._batch_abort = t
                 return False
         cohort.sort()
         self._now = t
@@ -835,6 +854,7 @@ class Simulator:
                         return stop_event.value
                     if (self._nfast >= batch_min
                             and self._nfast * 2 >= len(heap)
+                            and item[0] != self._batch_abort
                             and self._batch_tick(heap, item[0])):
                         continue
                     self._now = when = item[0]
@@ -866,6 +886,7 @@ class Simulator:
                         return None
                     if (self._nfast >= batch_min
                             and self._nfast * 2 >= len(heap)
+                            and item[0] != self._batch_abort
                             and self._batch_tick(heap, item[0])):
                         continue
                     self._now = when = item[0]
@@ -898,6 +919,7 @@ class Simulator:
                 if event._fast:
                     if (self._nfast >= batch_min
                             and self._nfast * 2 >= len(heap)
+                            and item[0] != self._batch_abort
                             and self._batch_tick(heap, item[0])):
                         continue
                     self._now = when = item[0]

@@ -190,6 +190,31 @@ class FlowScheduler:
     def active_flows(self) -> tuple[Flow, ...]:
         return tuple(self._active.values())
 
+    @property
+    def active_count(self) -> int:
+        return len(self._active)
+
+    def total_transferred(self) -> float:
+        """Bytes moved so far across all active flows, in one pass.
+
+        Bit-identical to ``sum(f.transferred for f in active_flows)``
+        (same per-flow arithmetic, same admission-order accumulation)
+        but reads the clock once and materializes no flow tuple — the
+        bulk-rate read activity monitors poll every few seconds.
+        """
+        dt = self.sim.now - self._last_update
+        total = 0.0
+        if dt > 0:
+            for f in self._active.values():
+                remaining = f.remaining
+                if f._rate > 0:
+                    remaining = max(0.0, remaining - f._rate * dt)
+                total += f.size - remaining
+        else:
+            for f in self._active.values():
+                total += f.size - f.remaining
+        return total
+
     # -- public API --------------------------------------------------------
     def transfer(
         self,

@@ -64,6 +64,26 @@ class ReferenceFlowScheduler:
     def active_flows(self) -> tuple[Flow, ...]:
         return tuple(self._active)
 
+    @property
+    def active_count(self) -> int:
+        return len(self._active)
+
+    def total_transferred(self) -> float:
+        """See ``FlowScheduler.total_transferred`` — same single-pass
+        bulk read, bit-identical to summing ``Flow.transferred``."""
+        dt = self.sim.now - self._last_update
+        total = 0.0
+        if dt > 0:
+            for f in self._active:
+                remaining = f.remaining
+                if f._rate > 0:
+                    remaining = max(0.0, remaining - f._rate * dt)
+                total += f.size - remaining
+        else:
+            for f in self._active:
+                total += f.size - f.remaining
+        return total
+
     # -- public API --------------------------------------------------------
     def transfer(
         self,

@@ -1,0 +1,487 @@
+"""Columnar data plane: ColumnStore/Handle semantics, scalar-vs-
+columnar RM parity, columnar trace buffers, batched sampler blocks and
+the bulk flow/trace reads the activity watchdog uses."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster.cluster import Cluster, ClusterSpec
+from repro.metrics.trace import ProgressSampler, Trace
+from repro.sim.columns import ColumnStore, LivenessColumns, columnar_enabled, data_plane_mode
+from repro.sim.core import SimulationError, Simulator
+from repro.yarn.rm import ResourceManager, YarnConfig
+
+pytestmark = pytest.mark.tier1
+
+
+# ---------------------------------------------------------------------------
+# ColumnStore / Handle
+# ---------------------------------------------------------------------------
+class TestColumnStore:
+    SCHEMA = {"hb": "f8", "lost": "?", "cap": "i8"}
+
+    def test_alloc_zero_fills_and_applies_values(self):
+        store = ColumnStore(self.SCHEMA, capacity=2)
+        slot = store.alloc(hb=3.5)
+        assert store.get(slot, "hb") == 3.5
+        assert store.get(slot, "lost") is False
+        assert store.get(slot, "cap") == 0
+
+    def test_get_returns_python_scalars(self):
+        store = ColumnStore(self.SCHEMA)
+        slot = store.alloc(hb=1.0, lost=True, cap=7)
+        assert type(store.get(slot, "hb")) is float
+        assert type(store.get(slot, "lost")) is bool
+        assert type(store.get(slot, "cap")) is int
+
+    def test_unknown_column_rejected_before_mutation(self):
+        store = ColumnStore(self.SCHEMA, capacity=1)
+        with pytest.raises(SimulationError, match="unknown column"):
+            store.alloc(hb=1.0, bogus=2)
+        # The failed alloc must not have claimed the slot.
+        assert len(store) == 0
+        assert store.size == 0
+
+    def test_growth_preserves_existing_cells(self):
+        store = ColumnStore(self.SCHEMA, capacity=2)
+        slots = [store.alloc(cap=i) for i in range(10)]
+        assert store.capacity >= 10
+        assert [store.get(s, "cap") for s in slots] == list(range(10))
+
+    def test_free_then_alloc_reuses_same_slot_lifo(self):
+        store = ColumnStore(self.SCHEMA)
+        a = store.alloc(cap=1)
+        b = store.alloc(cap=2)
+        store.free(a)
+        assert store.alloc(cap=3) == a  # LIFO reuse
+        assert store.get(b, "cap") == 2
+
+    def test_reused_slot_is_zero_filled(self):
+        store = ColumnStore(self.SCHEMA)
+        slot = store.alloc(hb=9.0, lost=True, cap=42)
+        store.free(slot)
+        again = store.alloc()
+        assert again == slot
+        assert store.get(again, "hb") == 0.0
+        assert store.get(again, "lost") is False
+        assert store.get(again, "cap") == 0
+
+    def test_double_free_rejected(self):
+        store = ColumnStore(self.SCHEMA)
+        slot = store.alloc()
+        store.free(slot)
+        with pytest.raises(SimulationError, match="unallocated"):
+            store.free(slot)
+
+    def test_alloc_many_matches_alloc_loop(self):
+        bulk = ColumnStore(self.SCHEMA, capacity=4)
+        loop = ColumnStore(self.SCHEMA, capacity=4)
+        caps = np.arange(10, dtype="i8")
+        slots = bulk.alloc_many(10, hb=2.5, cap=caps)
+        expected = [loop.alloc(hb=2.5, cap=int(c)) for c in caps]
+        assert slots.tolist() == expected
+        for name in self.SCHEMA:
+            assert (bulk.col(name)[:10] == loop.col(name)[:10]).all()
+        assert len(bulk) == len(loop) == 10
+
+    def test_alloc_many_reuses_free_slots_first(self):
+        store = ColumnStore(self.SCHEMA)
+        slots = store.alloc_many(3, cap=np.array([1, 2, 3]))
+        store.free(int(slots[1]))
+        more = store.alloc_many(2, cap=np.array([8, 9]))
+        assert int(more[0]) == int(slots[1])  # freed slot reused first
+        assert store.get(int(more[0]), "cap") == 8
+
+    @settings(max_examples=50, deadline=None)
+    @given(ops=st.lists(
+        st.tuples(st.sampled_from(["hb", "lost", "cap"]),
+                  st.integers(min_value=0, max_value=7),
+                  st.integers(min_value=0, max_value=10_000)),
+        min_size=1, max_size=60))
+    def test_handle_round_trip_matches_shadow_objects(self, ops):
+        """Handle attribute writes/reads behave exactly like instance
+        attributes on per-entity objects (the scalar plane)."""
+        store = ColumnStore(self.SCHEMA, capacity=2)
+        handles = [store.handle(store.alloc()) for _ in range(8)]
+        shadow = [{"hb": 0.0, "lost": False, "cap": 0} for _ in range(8)]
+        for name, idx, raw in ops:
+            value = {"hb": raw / 16.0, "lost": bool(raw % 2), "cap": raw}[name]
+            setattr(handles[idx], name, value)
+            shadow[idx][name] = value
+        for handle, expect in zip(handles, shadow):
+            assert handle.hb == expect["hb"]
+            assert handle.lost == expect["lost"]
+            assert handle.cap == expect["cap"]
+
+    def test_handle_unknown_attribute_raises_attributeerror(self):
+        store = ColumnStore(self.SCHEMA)
+        handle = store.handle(store.alloc())
+        with pytest.raises(AttributeError):
+            _ = handle.nope
+        with pytest.raises(AttributeError):
+            handle.nope = 1
+
+
+class TestLivenessColumns:
+    def test_update_maintains_reachable(self):
+        cols = LivenessColumns(4)
+        assert cols.reachable.all()
+        cols.update(2, alive=True, network_up=False)
+        assert cols.alive[2] and not cols.net[2] and not cols.reachable[2]
+        cols.update(2, alive=True, network_up=True)
+        assert cols.reachable[2]
+
+    def test_node_setters_dual_write(self):
+        sim = Simulator()
+        cluster = Cluster(sim, ClusterSpec(num_nodes=4))
+        node = cluster.nodes[1]
+        node.network_up = False
+        assert not cluster.columns.reachable[1]
+        assert cluster.columns.alive[1]
+        node.network_up = True
+        node.alive = False
+        assert not cluster.columns.alive[1]
+        assert not cluster.columns.reachable[1]
+
+    def test_reachable_mask_tracks_fault_verbs(self):
+        sim = Simulator()
+        cluster = Cluster(sim, ClusterSpec(num_nodes=5))
+        cluster.stop_network(cluster.nodes[3])
+        cluster.crash_node(cluster.nodes[0])
+        assert cluster.reachable_mask().tolist() == [False, True, True, False, True]
+
+
+def test_data_plane_mode_validation(monkeypatch):
+    monkeypatch.setenv("REPRO_DATA_PLANE", "reference")
+    assert data_plane_mode() == "reference"
+    assert not columnar_enabled()
+    monkeypatch.setenv("REPRO_DATA_PLANE", "columnar")
+    assert columnar_enabled()
+    monkeypatch.setenv("REPRO_DATA_PLANE", "bogus")
+    with pytest.raises(SimulationError, match="REPRO_DATA_PLANE"):
+        data_plane_mode()
+
+
+# ---------------------------------------------------------------------------
+# Scalar-vs-columnar RM parity
+# ---------------------------------------------------------------------------
+def _liveness_run(num_nodes: int) -> tuple[list[tuple[float, int]], str, int]:
+    """Heartbeat + storm + heal workload; returns (node_lost samples,
+    digest, live NM count) for whichever plane is active."""
+    sim = Simulator()
+    cluster = Cluster(sim, ClusterSpec(num_nodes=num_nodes))
+    trace = Trace(sim)
+    rm = ResourceManager(sim, cluster, YarnConfig(nm_liveness_timeout=30.0))
+    cluster.rejoin_listeners.append(rm.register_node)
+    rm.node_lost_listeners.append(
+        lambda node: trace.log("node_lost", node=node.node_id))
+    victims = [cluster.nodes[i] for i in range(0, num_nodes, max(1, num_nodes // 8))]
+
+    def storm():
+        yield sim.timeout(40.0)
+        for node in victims:
+            cluster.stop_network(node)
+        yield sim.timeout(100.0)
+        for node in victims[::2]:
+            cluster.restore_network(node)
+
+    sim.process(storm(), name="storm")
+    sim.run(until=300.0)
+    lost = [(e.time, e["node"]) for e in trace.of_kind("node_lost")]
+    live = sum(not nm.lost for nm in rm.node_managers.values())
+    return lost, trace.digest(), live
+
+
+@pytest.mark.parametrize("num_nodes", [64, 1024])
+def test_liveness_tick_parity_scalar_vs_columnar(monkeypatch, num_nodes):
+    """Same fault schedule, both planes: identical node_lost events (in
+    order), identical digests, identical surviving-NM counts."""
+    monkeypatch.setenv("REPRO_DATA_PLANE", "reference")
+    scalar = _liveness_run(num_nodes)
+    monkeypatch.delenv("REPRO_DATA_PLANE", raising=False)
+    columnar = _liveness_run(num_nodes)
+    assert scalar == columnar
+    assert len(scalar[0]) > 0  # the storm actually lost nodes
+
+
+def test_reregistration_reuses_freed_column_slot():
+    sim = Simulator()
+    cluster = Cluster(sim, ClusterSpec(num_nodes=8))
+    rm = ResourceManager(sim, cluster, YarnConfig(nm_liveness_timeout=10.0))
+    cluster.rejoin_listeners.append(rm.register_node)
+    assert rm.columns is not None, "columnar plane should be on by default"
+    victim = cluster.nodes[3]
+    old_nm = rm.node_managers[3]
+    old_slot = old_nm.slot
+
+    def fault():
+        yield sim.timeout(5.0)
+        cluster.stop_network(victim)
+        yield sim.timeout(30.0)  # well past the liveness timeout
+        cluster.restore_network(victim)
+
+    sim.process(fault(), name="fault")
+    sim.run(until=60.0)
+    nm = rm.node_managers[3]
+    assert nm is not old_nm and not nm.lost
+    assert nm.slot == old_slot  # LIFO free-list reuse
+    assert rm._nm_by_slot[old_slot] is nm
+    # The reused slot was zero-filled: fresh NM is not a batch member
+    # (it heartbeats through its own periodic) and not lost.
+    assert not rm.columns.get(old_slot, "in_batch")
+    assert len(rm.columns) == 8
+    # Its individual heartbeat periodic is live: heartbeat advances.
+    hb_after_heal = nm.last_heartbeat
+    sim.run(until=90.0)
+    assert nm.last_heartbeat > hb_after_heal
+    assert not rm.node_managers[3].lost
+
+
+def test_scheduler_pick_parity_scalar_vs_columnar(monkeypatch):
+    """Container grants (node choice via the vectorized fallback scan)
+    match the scalar plane draw for draw."""
+
+    def run():
+        sim = Simulator()
+        cluster = Cluster(sim, ClusterSpec(num_nodes=32, seed=7))
+        rm = ResourceManager(sim, cluster)
+        got: list[tuple[float, int]] = []
+
+        def burst():
+            for _ in range(40):
+                grant = rm.request_container(2048)
+                grant.callbacks.append(
+                    lambda ev: got.append((sim.now, ev.value.node.node_id)))
+                yield sim.timeout(0.5)
+
+        sim.process(burst(), name="burst")
+        sim.run(until=120.0)
+        return got
+
+    monkeypatch.setenv("REPRO_DATA_PLANE", "reference")
+    scalar = run()
+    monkeypatch.delenv("REPRO_DATA_PLANE", raising=False)
+    columnar = run()
+    assert scalar == columnar
+    assert len(scalar) == 40
+
+
+def test_rm_falls_back_to_scalar_for_foreign_nodes():
+    """Workers the cluster's node_id indexing can't reach (here: another
+    cluster's nodes) force the RM onto the scalar plane; a plain subset
+    of the cluster's own nodes stays columnar."""
+    sim = Simulator()
+    cluster = Cluster(sim, ClusterSpec(num_nodes=6))
+    other = Cluster(sim, ClusterSpec(num_nodes=6))
+    rm = ResourceManager(sim, cluster, worker_nodes=other.nodes[:3])
+    assert rm.columns is None
+    assert rm.available_mb() > 0
+    subset_rm = ResourceManager(sim, cluster, worker_nodes=cluster.nodes[3:])
+    assert subset_rm.columns is not None
+
+
+# ---------------------------------------------------------------------------
+# Columnar trace buffers
+# ---------------------------------------------------------------------------
+class TestColumnarTrace:
+    def test_digest_stable_across_doubling_boundary(self):
+        """Identical log sequences digest identically whether the kind
+        is columnar (crossing a capacity doubling) or object-backed."""
+
+        def run(columnar: bool) -> tuple[str, list]:
+            sim = Simulator()
+            trace = Trace(sim)
+            if columnar:
+                trace.columnar("hb", capacity=4, node="i8", lag="f8")
+            for i in range(11):  # crosses 4 -> 8 -> 16
+                trace.log("hb", node=i, lag=i / 8.0)
+                trace.log("other", step=i)
+            from repro.metrics.export import trace_records
+            return trace.digest(), trace_records(trace)
+
+        col_digest, col_records = run(columnar=True)
+        obj_digest, obj_records = run(columnar=False)
+        assert col_digest == obj_digest
+        assert col_records == obj_records
+
+    def test_records_interleave_in_log_order(self):
+        sim = Simulator()
+        trace = Trace(sim)
+        buf = trace.columnar("fast", v="i8")
+        trace.log("slow", tag="a")
+        trace.log("fast", v=1)
+        trace.log("slow", tag="b")
+        trace.log("fast", v=2)
+        assert buf.size == 2
+        kinds = [r["kind"] for r in trace.iter_records()]
+        assert kinds == ["slow", "fast", "slow", "fast"]
+        assert trace.total_events() == 4
+        assert len(trace.events) == 2  # only the object-backed ones
+
+    def test_query_helpers_on_columnar_kind(self):
+        sim = Simulator()
+        trace = Trace(sim)
+        trace.columnar("hb", node="i8")
+        for i in range(5):
+            trace.log("hb", node=i % 2)
+        assert trace.count("hb") == 5
+        assert trace.count("hb", node=1) == 2
+        assert trace.first("hb", node=1)["node"] == 1
+        assert trace.last("hb")["node"] == 0
+        assert trace.times("hb") == [0.0] * 5
+        assert trace.times_array("hb").dtype == np.dtype("f8")
+        assert [e["node"] for e in trace.of_kind("hb")] == [0, 1, 0, 1, 0]
+
+    def test_summary_includes_columnar_rows(self):
+        sim = Simulator()
+        trace = Trace(sim)
+        trace.columnar("hb", node="i8")
+        trace.log("hb", node=1)
+        trace.log("plain", x=1)
+        s = trace.summary()
+        assert s["events"] == 2
+        assert s["kinds"] == {"hb": 1, "plain": 1}
+        assert s["first_time"] == 0.0 and s["last_time"] == 0.0
+
+    def test_listeners_fire_for_columnar_kinds(self):
+        sim = Simulator()
+        trace = Trace(sim)
+        trace.columnar("hb", node="i8")
+        seen = []
+        trace.subscribe("hb", lambda e: seen.append(e["node"]))
+        trace.log("hb", node=9)
+        assert seen == [9]
+
+    def test_count_only_wins_over_columnar(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TRACE_COUNT_ONLY", "hb")
+        sim = Simulator()
+        trace = Trace(sim)
+        assert trace.columnar("hb", node="i8") is None
+        trace.log("hb", node=1)
+        assert trace.count("hb") == 1
+        assert list(trace.iter_records()) == []  # suppressed, as ever
+
+    def test_registration_after_logging_rejected(self):
+        sim = Simulator()
+        trace = Trace(sim)
+        trace.log("x", v=1)
+        with pytest.raises(SimulationError, match="before any events"):
+            trace.columnar("hb", node="i8")
+
+    def test_strict_schema_enforced(self):
+        sim = Simulator()
+        trace = Trace(sim)
+        trace.columnar("hb", node="i8")
+        with pytest.raises(SimulationError, match="missing field"):
+            trace.log("hb")
+        sim2 = Simulator()
+        trace2 = Trace(sim2)
+        trace2.columnar("hb", node="i8")
+        with pytest.raises(SimulationError, match="undeclared"):
+            trace2.log("hb", node=1, extra=2)
+
+    def test_lossy_dtype_store_rejected(self):
+        sim = Simulator()
+        trace = Trace(sim)
+        trace.columnar("hb", node="i8")
+        with pytest.raises(SimulationError, match="round-trip"):
+            trace.log("hb", node=1.5)
+
+
+# ---------------------------------------------------------------------------
+# Sampler blocks, bulk flow reads, periodic profiling
+# ---------------------------------------------------------------------------
+def test_sampler_block_matches_individual_probes():
+    def run(use_block: bool) -> dict:
+        sim = Simulator()
+        trace = Trace(sim)
+        state = {"a": 0}
+        sampler = ProgressSampler(sim, trace, interval=1.0)
+        if use_block:
+            sampler.add_probe_block(lambda: (("a", state["a"]), ("b", state["a"] * 2.0)))
+        else:
+            sampler.add_probe("a", lambda: state["a"])
+            sampler.add_probe("b", lambda: state["a"] * 2.0)
+        sampler.start()
+
+        def bump():
+            while True:
+                yield sim.timeout(1.0)
+                state["a"] += 1
+
+        sim.process(bump(), name="bump")
+        sim.run(until=10.0)
+        return {"series": trace.series, "digest": trace.digest()}
+
+    assert run(use_block=True) == run(use_block=False)
+
+
+def test_total_transferred_matches_per_flow_sum():
+    from repro.sim.flows import LinkResource
+
+    sim = Simulator()
+    cluster = Cluster(sim, ClusterSpec(num_nodes=4))
+    shared = LinkResource("shared", 100.0)
+    flows = [cluster.flows.transfer(1000.0 * (i + 1), [shared], f"f{i}")
+             for i in range(5)]
+    sim.run(until=3.0)
+    sim.timeout(7.0)  # schedule something so now < next flow completion
+    expected = sum(f.transferred for f in cluster.flows.active_flows)
+    assert cluster.flows.total_transferred() == expected
+    assert cluster.flows.active_count == len(cluster.flows.active_flows)
+    assert any(f.transferred > 0 for f in flows)
+
+
+def test_total_transferred_matches_on_reference_scheduler(monkeypatch):
+    monkeypatch.setenv("REPRO_SCHEDULER", "reference")
+    from repro.sim.flows import LinkResource
+
+    sim = Simulator()
+    cluster = Cluster(sim, ClusterSpec(num_nodes=4))
+    shared = LinkResource("shared", 100.0)
+    for i in range(3):
+        cluster.flows.transfer(500.0 * (i + 1), [shared], f"f{i}")
+    sim.run(until=2.0)
+    expected = sum(f.transferred for f in cluster.flows.active_flows)
+    assert cluster.flows.total_transferred() == expected
+    assert cluster.flows.active_count == len(cluster.flows.active_flows)
+
+
+def test_periodic_profiling_registry(monkeypatch):
+    from repro.runner import profile
+
+    monkeypatch.setenv("REPRO_PROFILE", "1")
+    profile.reset_periodic_times()
+    sim = Simulator()
+    ticks = []
+    sim.periodic(1.0, lambda: ticks.append(sim.now), name="test-tick")
+    sim.periodic(2.0, lambda: None, pure=True, name="test-pure")
+    sim.run(until=10.0)
+    rows = {name: (calls, secs) for name, calls, secs in profile.periodic_times()}
+    assert rows["test-tick"][0] == len(ticks) == 10
+    assert rows["test-pure"][0] == 5
+    assert all(secs >= 0.0 for _, secs in rows.values())
+    assert profile.periodic_times(top=1)[0][0] in rows
+    profile.reset_periodic_times()
+    assert profile.periodic_times() == []
+
+
+def test_periodic_profiling_preserves_false_stop(monkeypatch):
+    from repro.runner import profile
+
+    monkeypatch.setenv("REPRO_PROFILE", "1")
+    profile.reset_periodic_times()
+    sim = Simulator()
+    ticks = []
+
+    def tick():
+        ticks.append(sim.now)
+        if len(ticks) >= 3:
+            return False
+
+    sim.periodic(1.0, tick, name="stopper")
+    sim.run(until=10.0)
+    assert len(ticks) == 3  # wrapper passed the False through
+    profile.reset_periodic_times()
