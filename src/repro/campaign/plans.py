@@ -60,13 +60,17 @@ def _chaos_plan(spec: dict[str, Any]) -> CampaignPlan:
     seed = int(spec["seed"])
     trials = int(spec["trials"])
     scale = float(spec.get("scale", 1.0))
+    am_faults = bool(spec.get("am_faults", False))
     campaign = {"seed": seed, "scale": scale}
+    if am_faults:
+        campaign["am_faults"] = True
     for key in ("hard_timeout", "stall_timeout"):
         if key in spec:
             campaign[key] = float(spec[key])
     return CampaignPlan(
-        spec=dict(spec, kind="chaos", seed=seed, trials=trials, scale=scale),
-        experiment=f"chaos:{seed}:{scale}",
+        spec=dict(spec, kind="chaos", seed=seed, trials=trials, scale=scale,
+                  am_faults=am_faults),
+        experiment=f"chaos:{seed}:{scale}" + (":am" if am_faults else ""),
         fn=run_chaos_trial,
         kwargs={"campaign": campaign},
         trials=[TrialSpec(i) for i in range(trials)],

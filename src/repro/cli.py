@@ -47,7 +47,9 @@ index), ``nodetime@T:TARGET``, ``maps@T:N`` (kill N maps at time T),
 ``slow@T:IDX[:FACTOR]`` (degrade a node's disk),
 ``partition@T:IDX[,IDX...]:DUR`` (transient network partition that
 heals after DUR seconds), ``rack@T:IDX[:crash|network]`` (rack-wide
-failure).
+failure), ``am@P[:REPEAT]`` (crash the AppMaster at reduce progress P,
+REPEAT incarnations in a row), ``amtime@T`` (crash the AppMaster at
+time T).
 """
 
 from __future__ import annotations
@@ -59,6 +61,7 @@ from repro.cluster import ClusterSpec
 from repro.experiments import format_table
 from repro.experiments.common import make_policy
 from repro.faults import (
+    AMFault,
     PartitionFault,
     RackFault,
     SlowNodeFault,
@@ -110,6 +113,11 @@ def parse_fault(spec: str):
             duration = float(parts[2]) if len(parts) > 2 else 30.0
             return PartitionFault(node_indices=indices, at_time=float(parts[0]),
                                   duration=duration)
+        if kind == "am":
+            repeat = int(parts[1]) if len(parts) > 1 else 1
+            return AMFault(at_progress=float(parts[0]), repeat=repeat)
+        if kind == "amtime":
+            return AMFault(at_time=float(parts[0]))
         if kind == "rack":
             mode = parts[2] if len(parts) > 2 else "crash"
             return RackFault(rack_index=int(parts[1]) if len(parts) > 1 else 0,
@@ -177,6 +185,9 @@ def _build_parser() -> argparse.ArgumentParser:
     p_chaos.add_argument("--scale", type=float, default=None,
                          help="input-size scale per trial (default 1.0, or "
                               "0.5 under --smoke); part of the campaign id")
+    p_chaos.add_argument("--am-faults", action="store_true",
+                         help="include AM-crash and lossy-RPC archetypes "
+                              "in the fault pool")
     p_chaos.add_argument("--smoke", action="store_true",
                          help="CI budget: smaller inputs, at most 30 trials")
     p_chaos.add_argument("--jobs", type=int, default=None, metavar="N",
@@ -207,6 +218,8 @@ def _build_parser() -> argparse.ArgumentParser:
     c_submit.add_argument("--seed", type=int, default=7)
     c_submit.add_argument("--trials", type=int, default=50)
     c_submit.add_argument("--scale", type=float, default=1.0)
+    c_submit.add_argument("--am-faults", action="store_true",
+                          help="include AM-crash and lossy-RPC archetypes")
     c_submit.add_argument("--strategy", default="fifo",
                           choices=("fifo", "priority", "dependency"))
     c_submit.add_argument("--jobs", type=int, default=None, metavar="N",
@@ -437,7 +450,7 @@ def cmd_chaos(args) -> int:
     try:
         summary = run_campaign(seed=args.seed, trials=trials, scale=scale,
                                out_dir=args.out, minimize=not args.no_minimize,
-                               store=args.store)
+                               store=args.store, am_faults=args.am_faults)
     except KeyboardInterrupt:
         if args.store:
             print(f"\ninterrupted — completed trials are checkpointed; resume "
@@ -477,7 +490,7 @@ def cmd_campaign(args) -> int:
                 spec = json.load(fh)
         else:
             spec = {"kind": "chaos", "seed": args.seed, "trials": args.trials,
-                    "scale": args.scale}
+                    "scale": args.scale, "am_faults": args.am_faults}
         return _campaign_run_spec(spec, args)
 
     if args.campaign_cmd == "resume":

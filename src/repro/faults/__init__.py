@@ -9,6 +9,7 @@ with recovery, rack-correlated failures and degraded-hardware faults.
 """
 
 from repro.faults.inject import (
+    AMFault,
     EventTrigger,
     FaultInjector,
     MapWaveFault,
@@ -16,6 +17,7 @@ from repro.faults.inject import (
     PartitionFault,
     RackFault,
     TaskFault,
+    kill_am_at_progress,
     kill_node_at_progress,
     kill_node_at_time,
     kill_reduce_at_progress,
@@ -24,6 +26,7 @@ from repro.faults.inject import (
 from repro.faults.stragglers import SlowNodeFault
 
 __all__ = [
+    "AMFault",
     "EventTrigger",
     "FaultInjector",
     "MapWaveFault",
@@ -32,6 +35,7 @@ __all__ = [
     "RackFault",
     "SlowNodeFault",
     "TaskFault",
+    "kill_am_at_progress",
     "kill_maps_at_time",
     "kill_node_at_progress",
     "kill_node_at_time",

@@ -27,6 +27,7 @@ import numpy as np
 
 from repro.cluster import ClusterSpec
 from repro.faults.inject import (
+    AMFault,
     EventTrigger,
     FaultInjector,
     MapWaveFault,
@@ -36,6 +37,7 @@ from repro.faults.inject import (
     TaskFault,
 )
 from repro.faults.stragglers import SlowNodeFault
+from repro.mapreduce.config import JobConf
 from repro.mapreduce.job import MapReduceRuntime
 from repro.mapreduce.tasks import TaskType
 from repro.sim.core import SimulationError
@@ -43,6 +45,7 @@ from repro.workloads import BENCHMARKS
 from repro.yarn.rm import YarnConfig
 
 __all__ = [
+    "AM_FAULT_KINDS",
     "CHAOS_POLICIES",
     "FAULT_KINDS",
     "build_fault",
@@ -71,6 +74,17 @@ FAULT_KINDS = (
     "crash-during-recovery",
 )
 
+#: Control-plane archetypes, appended to the pool only when the
+#: campaign opts in (``am_faults=True`` / ``chaos --am-faults``) so
+#: historical campaign seeds — and the frozen chaos scenarios in the
+#: golden corpus — keep regenerating byte-identical schedules.
+#: gcd(5, 11) = 1 keeps full policy x kind coverage within 55 trials.
+AM_FAULT_KINDS = (
+    "am-crash",
+    "rpc-loss",
+    "am-crash-rpc-loss",
+)
+
 
 # -- schedule generation -----------------------------------------------------
 
@@ -93,9 +107,10 @@ def generate_trial(campaign: dict[str, Any], index: int) -> dict[str, Any]:
         "hard_timeout": float(campaign.get("hard_timeout", 100_000.0)),
         "stall_timeout": float(campaign.get("stall_timeout", 2_000.0)),
     }
-    kinds = [FAULT_KINDS[index % len(FAULT_KINDS)]]
+    pool = FAULT_KINDS + (AM_FAULT_KINDS if campaign.get("am_faults") else ())
+    kinds = [pool[index % len(pool)]]
     if rng.random() < 0.4:  # sometimes compound two archetypes
-        kinds.append(FAULT_KINDS[int(rng.integers(len(FAULT_KINDS)))])
+        kinds.append(pool[int(rng.integers(len(pool)))])
     spec["faults"] = []
     for kind in kinds:
         spec["faults"].extend(_sample_faults(kind, rng, spec))
@@ -200,7 +215,42 @@ def _sample_faults(kind: str, rng: np.random.Generator,
         if rng.random() < 0.4:
             second["duration"] = round(float(rng.uniform(80.0, 200.0)), 1)
         return [first, second]
+    if kind in ("am-crash", "am-crash-rpc-loss"):
+        # The AM knobs live in spec["conf"], not in the fault dict:
+        # they are environment (how the relaunched AM recovers), and
+        # minimization must not be able to drop them.
+        conf = spec.setdefault("conf", {})
+        conf["am_recovery"] = "log" if rng.random() < 0.7 else "rerun-all"
+        conf["keep_containers_across_am_restart"] = bool(rng.random() < 0.5)
+        conf["am_max_attempts"] = int(rng.integers(2, 4))
+        fault = {"kind": "am-crash"}
+        if rng.random() < 0.6:
+            fault["at_progress"] = round(float(rng.uniform(0.2, 0.8)), 3)
+        else:
+            fault["at_time"] = round(float(rng.uniform(20.0, 150.0)), 1)
+        if rng.random() < 0.3:  # sometimes also crash the successor
+            fault["repeat"] = 2
+        faults = [fault]
+        if kind == "am-crash-rpc-loss":
+            faults.append(_sample_rpc_loss(rng))
+        return faults
+    if kind == "rpc-loss":
+        return [_sample_rpc_loss(rng)]
     raise SimulationError(f"unknown chaos fault kind {kind!r}")
+
+
+def _sample_rpc_loss(rng: np.random.Generator) -> dict[str, Any]:
+    """A lossy-RPC 'fault': not an injector but a YarnConfig overlay —
+    :func:`run_trial_spec` translates it into channel knobs. Keeping it
+    in the fault list makes reproducers self-contained and lets
+    minimization drop it like any other fault."""
+    return {
+        "kind": "rpc-loss",
+        "drop_prob": round(float(rng.uniform(0.02, 0.15)), 3),
+        "delay_prob": round(float(rng.uniform(0.05, 0.25)), 3),
+        "max_delay": round(float(rng.uniform(0.5, 3.0)), 2),
+        "seed": int(rng.integers(1, 2**31 - 1)),
+    }
 
 
 # -- spec -> injector --------------------------------------------------------
@@ -251,6 +301,15 @@ def build_fault(d: dict[str, Any]):
         )
     if kind == "map-wave":
         return MapWaveFault(count=int(d["count"]), at_time=float(d["at_time"]))
+    if kind == "am-crash":
+        after = EventTrigger(**d["after"]) if "after" in d else None
+        return AMFault(
+            at_time=d.get("at_time"),
+            at_progress=d.get("at_progress"),
+            after=after,
+            repeat=int(d.get("repeat", 1)),
+            repeat_gap=float(d.get("repeat_gap", 30.0)),
+        )
     raise SimulationError(f"unknown fault spec kind {kind!r}")
 
 
@@ -264,15 +323,31 @@ def run_trial_spec(spec: dict[str, Any]) -> dict[str, Any]:
 
     wl = BENCHMARKS[spec["workload"]](spec["input_gb"],
                                       num_reducers=spec["reducers"])
+    # rpc-loss "faults" are YarnConfig overlays, not injectors; an
+    # explicit spec["rpc"] block (scenario corpus) applies on top.
+    rpc_kwargs: dict[str, Any] = {}
+    fault_dicts: list[dict[str, Any]] = []
+    for d in spec["faults"]:
+        if d["kind"] == "rpc-loss":
+            rpc_kwargs.update(
+                rpc_drop_prob=float(d.get("drop_prob", 0.0)),
+                rpc_delay_prob=float(d.get("delay_prob", 0.0)),
+                rpc_max_delay=float(d.get("max_delay", 2.0)),
+                rpc_seed=int(d.get("seed", 0)),
+            )
+        else:
+            fault_dicts.append(d)
+    rpc_kwargs.update({f"rpc_{k}": v for k, v in (spec.get("rpc") or {}).items()})
     rt = MapReduceRuntime(
         wl,
+        conf=JobConf(**spec["conf"]) if spec.get("conf") else None,
         cluster_spec=ClusterSpec(num_nodes=spec["nodes"], num_racks=spec["racks"],
                                  seed=spec["runtime_seed"]),
-        yarn_config=YarnConfig(nm_liveness_timeout=spec["liveness"]),
+        yarn_config=YarnConfig(nm_liveness_timeout=spec["liveness"], **rpc_kwargs),
         policy=make_policy(spec["policy"]),
         job_name=f"chaos-{spec['index']}",
     )
-    FaultInjector(*[build_fault(d) for d in spec["faults"]]).install(rt)
+    FaultInjector(*[build_fault(d) for d in fault_dicts]).install(rt)
     result = rt.run(timeout=spec.get("hard_timeout", 100_000.0),
                     stall_timeout=spec.get("stall_timeout", 2_000.0))
     violations = check_invariants(rt, result)
@@ -349,6 +424,7 @@ def run_campaign(
     echo=print,
     store: Any = None,
     strategy: str = "fifo",
+    am_faults: bool = False,
 ) -> dict[str, Any]:
     """Run (or resume) a campaign; write a reproducer per violating
     trial.
@@ -368,7 +444,8 @@ def run_campaign(
     from repro.runner import atomic_write_text
 
     plan = build_plan({"kind": "chaos", "seed": int(seed),
-                       "trials": int(trials), "scale": float(scale)})
+                       "trials": int(trials), "scale": float(scale),
+                       "am_faults": bool(am_faults)})
     owns_store = not isinstance(store, CampaignStore)
     opened = CampaignStore(store if store is not None else ":memory:") \
         if owns_store else store

@@ -28,6 +28,7 @@ if TYPE_CHECKING:  # pragma: no cover
     from repro.mapreduce.job import MapReduceRuntime
 
 __all__ = [
+    "AMFault",
     "EventTrigger",
     "FaultInjector",
     "MapWaveFault",
@@ -35,6 +36,7 @@ __all__ = [
     "PartitionFault",
     "RackFault",
     "TaskFault",
+    "kill_am_at_progress",
     "kill_maps_at_time",
     "kill_node_at_progress",
     "kill_node_at_time",
@@ -458,6 +460,80 @@ class MapWaveFault:
         rt.trace.log("fault_injected", fault="map-wave", count=self.killed)
 
 
+@dataclass
+class AMFault:
+    """Crash the running :class:`MRAppMaster` (control-plane failure).
+
+    The RM relaunches the AM after ``JobConf.am_restart_delay``, up to
+    ``JobConf.am_max_attempts`` incarnations; the new AM recovers from
+    the job-history log (or from scratch, per ``JobConf.am_recovery``).
+    ``repeat`` kills that many successive incarnations — with
+    ``repeat >= am_max_attempts`` this drives the job to AM-attempt
+    exhaustion. ``repeat_gap`` is the delay between kills, counted from
+    the moment the next incarnation is live.
+    """
+
+    at_time: float | None = None
+    at_progress: float | None = None
+    after: EventTrigger | None = None
+    repeat: int = 1
+    repeat_gap: float = 30.0
+    fired_times: list[float] = field(default_factory=list, init=False)
+
+    def install(self, rt: "MapReduceRuntime") -> None:
+        triggers = sum(x is not None for x in (self.at_time, self.at_progress, self.after))
+        _require(triggers == 1, "AMFault.at_time/at_progress/after",
+                 f"specify exactly one trigger, got {triggers}")
+        if self.at_time is not None:
+            _require(self.at_time >= 0, "AMFault.at_time",
+                     f"must be >= 0, got {self.at_time}")
+        if self.at_progress is not None:
+            _require(0 <= self.at_progress <= 1, "AMFault.at_progress",
+                     f"must be in [0, 1], got {self.at_progress}")
+        if self.after is not None:
+            self.after.validate("AMFault.after")
+        _require(self.repeat >= 1, "AMFault.repeat",
+                 f"must be >= 1, got {self.repeat}")
+        _require(self.repeat_gap > 0, "AMFault.repeat_gap",
+                 f"must be > 0, got {self.repeat_gap}")
+        rt.sim.process(self._watch(rt), name="fault:am-crash")
+
+    def _watch(self, rt: "MapReduceRuntime"):
+        if self.after is not None:
+            yield from _wait_for_event(rt, self.after)
+        elif self.at_time is not None:
+            yield rt.sim.timeout(self.at_time)
+        else:
+            while rt.am.reduce_phase_progress() < self.at_progress:
+                if rt.job_done.triggered:
+                    rt.trace.log("fault_skipped", fault="am-crash",
+                                 reason="job finished before trigger progress")
+                    return
+                yield rt.sim.timeout(_POLL)
+        for k in range(self.repeat):
+            if rt.job_done.triggered:
+                rt.trace.log("fault_skipped", fault="am-crash",
+                             reason="job finished before kill")
+                return
+            # Wait out a restart already in flight: you cannot crash an
+            # AM that is not running.
+            while rt.am.dead and not rt.job_done.triggered:
+                yield rt.sim.timeout(_POLL)
+            if rt.job_done.triggered or not rt.kill_am():
+                rt.trace.log("fault_skipped", fault="am-crash",
+                             reason="no live AM to kill")
+                return
+            self.fired_times.append(rt.sim.now)
+            rt.trace.log("fault_injected", fault="am-crash",
+                         am_attempt=rt.am.am_attempt, occurrence=k + 1)
+            if k + 1 < self.repeat:
+                yield rt.sim.timeout(self.repeat_gap)
+
+    @property
+    def fired_at(self) -> float | None:
+        return self.fired_times[0] if self.fired_times else None
+
+
 class FaultInjector:
     """Bundle of faults installed together onto one runtime.
 
@@ -500,3 +576,7 @@ def kill_node_at_progress(progress: float, target: str | int = "reducer", mode: 
 
 def kill_maps_at_time(count: int, at_time: float) -> MapWaveFault:
     return MapWaveFault(count=count, at_time=at_time)
+
+
+def kill_am_at_progress(progress: float, repeat: int = 1) -> AMFault:
+    return AMFault(at_progress=progress, repeat=repeat)

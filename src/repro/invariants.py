@@ -52,15 +52,18 @@ class InvariantViolation(SimulationError):
 # -- individual checkers -----------------------------------------------------
 
 def check_termination(rt: "MapReduceRuntime", result: "JobResult") -> list[str]:
-    """The job must end for a *modelled* reason: success, or a task
-    exhausting its attempt budget. A stall (frozen event loop / frozen
-    progress) or an unexplained failure is a simulator bug."""
+    """The job must end for a *modelled* reason: success, a task
+    exhausting its attempt budget, or the AM exhausting its incarnation
+    budget. A stall (frozen event loop / frozen progress) or an
+    unexplained failure is a simulator bug."""
     out = []
     if result.counters.get("stalled"):
         out.append("termination: run stalled — "
                    + str(result.counters.get("stall_reason", "unknown")))
-    elif not result.success and not rt.trace.of_kind("task_failed"):
-        out.append("termination: job failed without a task_failed cause")
+    elif (not result.success and not rt.trace.of_kind("task_failed")
+          and not rt.trace.of_kind("am_attempts_exhausted")):
+        out.append("termination: job failed without a task_failed or "
+                   "am_attempts_exhausted cause")
     return out
 
 
@@ -108,15 +111,20 @@ def check_no_orphans(rt: "MapReduceRuntime", result: "JobResult") -> list[str]:
     if result.counters.get("stalled"):
         return []  # a wedged run leaves work in flight by definition
     out = []
-    for task in rt.am.map_tasks + rt.am.reduce_tasks:
-        for attempt in task.attempts:
-            if attempt.process is not None and attempt.process.is_alive:
-                out.append(f"orphans: attempt {attempt.attempt_id} "
-                           f"({attempt.state.value}) still running")
-            for child in attempt._children:
-                if child.is_alive:
-                    out.append(f"orphans: child process of {attempt.attempt_id} "
-                               "still running")
+    seen: set[int] = set()
+    for am in getattr(rt, "am_incarnations", [rt.am]):
+        for task in am.map_tasks + am.reduce_tasks:
+            for attempt in task.attempts:
+                if id(attempt) in seen:
+                    continue  # adopted attempts appear under both AMs
+                seen.add(id(attempt))
+                if attempt.process is not None and attempt.process.is_alive:
+                    out.append(f"orphans: attempt {attempt.attempt_id} "
+                               f"({attempt.state.value}) still running")
+                for child in attempt._children:
+                    if child.is_alive:
+                        out.append(f"orphans: child process of {attempt.attempt_id} "
+                                   "still running")
     flows = rt.cluster.flows
     active = tuple(flows.active_flows)
     if active:
@@ -182,6 +190,48 @@ def check_trace_monotonic(rt: "MapReduceRuntime", result: "JobResult") -> list[s
     return []
 
 
+def check_am_singleton(rt: "MapReduceRuntime", result: "JobResult") -> list[str]:
+    """At most one live AM per job, ever: every incarnation except the
+    newest must have crashed before its successor was launched. Two
+    concurrently-live AMs would double-schedule every task."""
+    out = []
+    incarnations = getattr(rt, "am_incarnations", [rt.am])
+    live = [am for am in incarnations if not am._crashed]
+    if len(live) > 1:
+        out.append(f"am_singleton: {len(live)} non-crashed AM incarnations "
+                   f"(attempts {[am.am_attempt for am in live]})")
+    if live and live[-1] is not rt.am:
+        out.append("am_singleton: live incarnation is not rt.am")
+    for i, am in enumerate(incarnations):
+        if am.am_attempt != i:
+            out.append(f"am_singleton: incarnation {i} carries "
+                       f"am_attempt={am.am_attempt}")
+    return out
+
+
+def check_am_no_orphans(rt: "MapReduceRuntime", result: "JobResult") -> list[str]:
+    """After an AM restart nothing may be left dangling from the dead
+    incarnation: its stashed orphan completion reports must be drained
+    (replayed by the successor or torn down), and any attempt of its
+    that is still RUNNING must have been adopted by the live AM."""
+    if result.counters.get("stalled"):
+        return []
+    out = []
+    incarnations = getattr(rt, "am_incarnations", [rt.am])
+    for am in incarnations:
+        if not am._crashed:
+            continue
+        if am._orphan_reports:
+            out.append(f"am_orphans: AM attempt {am.am_attempt} still holds "
+                       f"{len(am._orphan_reports)} undrained completion reports")
+        for task in am.map_tasks + am.reduce_tasks:
+            for attempt in task.running_attempts():
+                if attempt.am is not rt.am:
+                    out.append(f"am_orphans: attempt {attempt.attempt_id} of dead "
+                               f"AM {am.am_attempt} running but not adopted")
+    return out
+
+
 INVARIANTS: dict[str, Callable] = {
     "termination": check_termination,
     "byte_conservation": check_byte_conservation,
@@ -189,6 +239,8 @@ INVARIANTS: dict[str, Callable] = {
     "containers_released": check_containers_released,
     "hdfs_consistency": check_hdfs_consistency,
     "trace_monotonic": check_trace_monotonic,
+    "am_singleton": check_am_singleton,
+    "am_no_orphans": check_am_no_orphans,
 }
 
 

@@ -82,6 +82,22 @@ class JobConf:
     #: Fixed per-task container/JVM startup cost (seconds).
     task_startup_seconds: float = 1.0
 
+    # -- AM survivability (yarn.app.mapreduce.am.*) -----------------------
+    #: AM incarnations before the RM gives the job up
+    #: (mapreduce.am.max-attempts; YARN default 2).
+    am_max_attempts: int = 2
+    #: How a relaunched AM rebuilds state: ``"log"`` replays the
+    #: job-history event log (completed maps whose MOFs survive are not
+    #: re-executed); ``"rerun-all"`` starts from scratch — the ablation
+    #: mirroring the paper's ALG-vs-scratch comparison one layer up.
+    am_recovery: str = "log"
+    #: Whether running attempts survive an AM crash as orphans to be
+    #: re-adopted by the next incarnation
+    #: (yarn.resourcemanager.work-preserving-recovery analogue).
+    keep_containers_across_am_restart: bool = False
+    #: RM relaunch latency after an AM crash (seconds).
+    am_restart_delay: float = 5.0
+
     # -- cost-model details -----------------------------------------------------
     #: Map-side sort buffer (mapreduce.task.io.sort.mb); inputs larger
     #: than this incur an extra spill-merge read+write pass.
@@ -106,6 +122,12 @@ class JobConf:
             raise SimulationError("task_timeout must be > 0")
         if self.fetch_retries_per_host < 1:
             raise SimulationError("fetch_retries_per_host must be >= 1")
+        if self.am_max_attempts < 1:
+            raise SimulationError("am_max_attempts must be >= 1")
+        if self.am_recovery not in ("log", "rerun-all"):
+            raise SimulationError("am_recovery must be 'log' or 'rerun-all'")
+        if self.am_restart_delay < 0:
+            raise SimulationError("am_restart_delay must be >= 0")
 
     @property
     def shuffle_buffer_bytes(self) -> float:

@@ -15,6 +15,7 @@ from repro.cluster import Cluster, ClusterSpec
 from repro.hdfs.hdfs import Hdfs, HdfsConfig
 from repro.mapreduce.appmaster import MRAppMaster
 from repro.mapreduce.config import JobConf
+from repro.mapreduce.history import JobHistoryLog
 from repro.mapreduce.recovery import RecoveryPolicy, YarnRecoveryPolicy
 from repro.metrics.trace import ProgressSampler, Trace
 from repro.sim.core import SimulationError, Simulator
@@ -85,12 +86,21 @@ class MapReduceRuntime:
         self.trace = Trace(self.sim)
         self.job_name = job_name
 
-        input_path = f"input/{job_name}"
+        self._input_path = input_path = f"input/{job_name}"
         self.hdfs.ingest(input_path, workload.input_size)
+        #: Job-history event log — outlives any single AM incarnation.
+        self.history = JobHistoryLog()
         self.am = MRAppMaster(
             self.sim, self.cluster, self.rm, self.hdfs, workload, self.conf,
             self.policy, self.trace, input_path=input_path, job_name=job_name,
+            history=self.history,
         )
+        #: Every AM this job has had, oldest first; ``self.am`` is the
+        #: live one (re-bound by :meth:`_relaunch_am`).
+        self.am_incarnations: list[MRAppMaster] = [self.am]
+        #: Triggers once for the whole job, across AM restarts.
+        self.job_done = self.sim.event()
+        self._chain_am(self.am)
         self.speculator = None
         if speculation:
             from repro.mapreduce.speculation import SpeculationConfig, Speculator
@@ -98,10 +108,69 @@ class MapReduceRuntime:
             spec_cfg = speculation if isinstance(speculation, SpeculationConfig) else None
             self.speculator = Speculator(self.am, spec_cfg)
         self.sampler = ProgressSampler(self.sim, self.trace, interval=sample_interval)
-        self.sampler.add_probe("reduce_progress", self.am.reduce_phase_progress)
-        self.sampler.add_probe("map_progress", self.am.map_phase_progress)
+        # Probes go through ``self.am`` late-bound so they track the
+        # live incarnation across AM restarts.
+        self.sampler.add_probe("reduce_progress",
+                               lambda: self.am.reduce_phase_progress())
+        self.sampler.add_probe("map_progress", lambda: self.am.map_phase_progress())
         self.sampler.add_probe("failed_reduce_attempts",
                                lambda: float(self.am.failed_reduce_attempts()))
+
+    # -- AM failure & restart ------------------------------------------------
+    def _chain_am(self, am: MRAppMaster) -> None:
+        def forward(event) -> None:
+            if not self.job_done.triggered:
+                value = dict(event.value)
+                value["start_time"] = self.am_incarnations[0].start_time
+                self.job_done.succeed(value)
+
+        am.done._add_callback(forward)
+
+    def kill_am(self) -> bool:
+        """Crash the live AM (the :class:`~repro.faults.inject.AMFault`
+        hook). The RM relaunches it after ``conf.am_restart_delay``, up
+        to ``conf.am_max_attempts`` incarnations. Returns ``False``
+        when there is no live AM to kill."""
+        am = self.am
+        if am.dead or self.job_done.triggered:
+            return False
+        keep = self.conf.keep_containers_across_am_restart
+        self.trace.log("am_crashed", am_attempt=am.am_attempt, keep_containers=keep)
+        am.crash(keep_containers=keep)
+        self.sim.process(self._relaunch_am(am), name=f"am-relaunch-{am.am_attempt + 1}")
+        return True
+
+    def _relaunch_am(self, old: MRAppMaster):
+        yield self.sim.timeout(self.conf.am_restart_delay)
+        if self.job_done.triggered:
+            return
+        attempt_no = old.am_attempt + 1
+        if attempt_no >= self.conf.am_max_attempts:
+            self.trace.log("am_attempts_exhausted", attempts=attempt_no)
+            old.teardown_orphans("am-attempts-exhausted")
+            self.job_done.succeed({
+                "success": False,
+                "start_time": self.am_incarnations[0].start_time,
+                "end_time": self.sim.now,
+            })
+            return
+        new_am = MRAppMaster(
+            self.sim, self.cluster, self.rm, self.hdfs, self.workload, self.conf,
+            self.policy, self.trace, input_path=self._input_path,
+            job_name=self.job_name, history=self.history, am_attempt=attempt_no,
+            partition_weights=old.partition_weights,
+        )
+        self.trace.log("am_restarted", am_attempt=attempt_no,
+                       recovery=self.conf.am_recovery)
+        self.am = new_am
+        self.am_incarnations.append(new_am)
+        if self.speculator is not None:
+            self.speculator.am = new_am
+        # Chain before recovery: replaying an orphaned commit can finish
+        # the job synchronously inside recover().
+        self._chain_am(new_am)
+        new_am.recover(old, keep_containers=self.conf.keep_containers_across_am_restart)
+        new_am.start()
 
     def run(self, timeout: float = 100_000.0,
             stall_timeout: float | None = 2_000.0) -> JobResult:
@@ -124,11 +193,11 @@ class MapReduceRuntime:
         self._stall_reason: str | None = None
         self.sim.process(self._watchdog(timeout, stall_timeout), name="stall-watchdog")
         try:
-            outcome = self.sim.run(until=self.am.done)
+            outcome = self.sim.run(until=self.job_done)
         except StallError:
             outcome = {
                 "success": False,
-                "start_time": self.am.start_time,
+                "start_time": self.am_incarnations[0].start_time,
                 "end_time": self.sim.now,
             }
         self.sampler.stop()
@@ -140,6 +209,7 @@ class MapReduceRuntime:
             "failed_map_attempts": self.trace.count("attempt_failed", type="map"),
             "failed_reduce_attempts": self.trace.count("attempt_failed", type="reduce"),
             "map_reruns": self.trace.count("map_rerun"),
+            "am_restarts": self.trace.count("am_restarted"),
             "nodes_lost": self.trace.count("node_lost"),
             "fetch_failure_reports": len(self.trace.of_kind("fetch_failure_report")),
             "map_locality": self.am.map_locality_counts(),
@@ -178,9 +248,9 @@ class MapReduceRuntime:
         check = max(1.0, min((stall_timeout or 2_000.0) / 4.0, 50.0))
         last = self._activity_snapshot()
         last_change = self.sim.now
-        while not self.am._finished:
+        while not self.job_done.triggered:
             yield self.sim.timeout(check)
-            if self.am._finished:
+            if self.job_done.triggered:
                 return
             if timeout is not None and self.sim.now >= timeout:
                 self._declare_stall(f"exceeded hard timeout of {timeout:g}s")

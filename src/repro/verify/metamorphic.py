@@ -337,6 +337,40 @@ def _fault_slowdown_oracle(base, variant, base_spec, variant_spec) -> list[str]:
     return out
 
 
+def _raise_am_attempts(spec: dict[str, Any]) -> dict[str, Any]:
+    spec.setdefault("conf", {})["am_max_attempts"] = 4
+    return spec
+
+
+def _am_attempts_oracle(base, variant, base_spec, variant_spec) -> list[str]:
+    out = []
+    if (base["kinds"].get("am_attempts_exhausted", 0) == 0
+            and not base["success"]):
+        out.append("base run failed without exhausting its AM attempts — "
+                   "the relation is not testing the exhaustion path")
+    if base["success"] and not variant["success"]:
+        out.append("raising am_max_attempts turned a succeeding job into a "
+                   "failure")
+    if not variant["success"]:
+        out.append("with am_max_attempts=4 the job must survive two AM "
+                   "crashes, but failed")
+    if variant["kinds"].get("am_restarted", 0) != 2:
+        out.append(f"variant must restart the AM exactly twice, saw "
+                   f"{variant['kinds'].get('am_restarted', 0)}")
+    return out
+
+
+register_relation(Relation(
+    name="am-max-attempts-monotone",
+    scenario="am-exhaust-yarn",
+    description="Raising am_max_attempts never makes a job worse: a "
+                "two-kill schedule that exhausts a budget of 2 incarnations "
+                "must succeed once the budget covers both kills.",
+    transform=_raise_am_attempts,
+    oracle=_am_attempts_oracle,
+))
+
+
 register_relation(Relation(
     name="fault-never-speeds-completion",
     scenario="oom-reduce-yarn",

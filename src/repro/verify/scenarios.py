@@ -28,6 +28,7 @@ from repro.cluster import ClusterSpec
 from repro.faults.chaos import build_fault, generate_trial
 from repro.faults.inject import FaultInjector
 from repro.hdfs.hdfs import HdfsConfig
+from repro.mapreduce.config import JobConf
 from repro.mapreduce.job import MapReduceRuntime
 from repro.sim.core import SimulationError
 from repro.workloads import BENCHMARKS
@@ -64,12 +65,18 @@ class Scenario:
     faults: tuple[dict[str, Any], ...] = ()
     liveness: float = 20.0
     replication: int = 2
+    #: JobConf overrides, as a tuple of (field, value) pairs (a dict
+    #: would break the frozen dataclass's hashability).
+    conf: tuple[tuple[str, Any], ...] = ()
+    #: RPC-channel knobs, as (name, value) pairs without the ``rpc_``
+    #: prefix (e.g. ``("drop_prob", 0.1)`` -> ``rpc_drop_prob=0.1``).
+    rpc: tuple[tuple[str, Any], ...] = ()
     tags: frozenset[str] = field(default_factory=frozenset)
 
     def to_spec(self) -> dict[str, Any]:
         """The scenario as a plain JSON-able dict (the executable form:
         :func:`run_verify_spec` runs it, the shrinker mutates it)."""
-        return {
+        spec = {
             "name": self.name,
             "workload": self.workload,
             "input_gb": self.input_gb,
@@ -82,6 +89,13 @@ class Scenario:
             "liveness": self.liveness,
             "replication": self.replication,
         }
+        # Only present when set, so pre-existing scenario specs (and
+        # anything keyed on their JSON form) are byte-identical.
+        if self.conf:
+            spec["conf"] = dict(self.conf)
+        if self.rpc:
+            spec["rpc"] = dict(self.rpc)
+        return spec
 
 
 #: Name -> scenario. Populated at import time, deterministically, so
@@ -141,17 +155,32 @@ def run_verify_spec(spec: dict[str, Any],
 
     wl = BENCHMARKS[spec["workload"]](spec["input_gb"],
                                       num_reducers=spec["reducers"])
+    rpc_kwargs = {f"rpc_{k}": v for k, v in (spec.get("rpc") or {}).items()}
+    # rpc-loss entries in the fault list (frozen chaos trials) are
+    # channel overlays, not injectors — same contract as run_trial_spec.
+    fault_dicts = []
+    for d in spec["faults"]:
+        if d["kind"] == "rpc-loss":
+            rpc_kwargs.update(
+                rpc_drop_prob=float(d.get("drop_prob", 0.0)),
+                rpc_delay_prob=float(d.get("delay_prob", 0.0)),
+                rpc_max_delay=float(d.get("max_delay", 2.0)),
+                rpc_seed=int(d.get("seed", 0)),
+            )
+        else:
+            fault_dicts.append(d)
     rt = MapReduceRuntime(
         wl,
+        conf=JobConf(**spec["conf"]) if spec.get("conf") else None,
         cluster_spec=ClusterSpec(num_nodes=spec["nodes"], num_racks=spec["racks"],
                                  seed=spec["seed"]),
-        yarn_config=YarnConfig(nm_liveness_timeout=spec["liveness"]),
+        yarn_config=YarnConfig(nm_liveness_timeout=spec["liveness"], **rpc_kwargs),
         hdfs_config=HdfsConfig(replication=spec["replication"]),
         policy=make_policy(spec["policy"]),
         job_name=f"verify-{spec['name']}",
     )
-    if spec["faults"]:
-        FaultInjector(*[build_fault(d) for d in spec["faults"]]).install(rt)
+    if fault_dicts:
+        FaultInjector(*[build_fault(d) for d in fault_dicts]).install(rt)
     result = rt.run()
     violations = check_invariants(rt, result)
 
@@ -272,3 +301,25 @@ register(Scenario("double-crash-recovery-alm", policy="alm", faults=(
 # recurring task OOM).
 register(_from_chaos(2015, 7, "chaos-2015-7"))
 register(_from_chaos(2015, 9, "chaos-2015-9"))
+
+# Control-plane failures: the AM itself dies mid-reduce. The quick one
+# recovers from the job-history log (completed maps whose MOFs survive
+# are not re-executed); the second pairs the scratch-recovery ablation
+# with a lossy RPC channel, exercising allocate retries, grant
+# redelivery and heartbeat-drop tolerance on the same run.
+register(Scenario("am-restart-log-yarn", tags=frozenset({"quick", "am"}),
+                  faults=({"kind": "am-crash", "at_progress": 0.5},)))
+register(Scenario("am-restart-rerunall-rpcloss-alg", policy="alg",
+                  tags=frozenset({"am"}),
+                  conf=(("am_recovery", "rerun-all"),
+                        ("keep_containers_across_am_restart", True)),
+                  rpc=(("drop_prob", 0.08), ("delay_prob", 0.15),
+                       ("max_delay", 1.5), ("seed", 42)),
+                  faults=({"kind": "am-crash", "at_progress": 0.5},)))
+# Two kills against a budget of two incarnations: the second crash
+# exhausts am_max_attempts and the job fails for a modelled reason.
+# Also the base leg of the am-max-attempts-monotone relation.
+register(Scenario("am-exhaust-yarn", tags=frozenset({"am"}),
+                  conf=(("am_max_attempts", 2),),
+                  faults=({"kind": "am-crash", "at_progress": 0.4,
+                           "repeat": 2, "repeat_gap": 6.0},)))

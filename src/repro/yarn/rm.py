@@ -32,8 +32,10 @@ import numpy as np
 
 from repro.cluster import Cluster
 from repro.cluster.node import Node
+from repro.sim.backoff import BackoffPolicy
 from repro.sim.columns import ColumnStore, columnar_enabled
 from repro.sim.core import Event, SimulationError, Simulator
+from repro.sim.rpc import RpcChannel
 
 __all__ = ["ColumnarNodeManager", "Container", "ContainerKilled", "NodeManager",
            "ResourceManager", "YarnConfig"]
@@ -61,12 +63,31 @@ class YarnConfig:
     #: the big reduce containers don't starve, and reservations idle
     #: capacity the maps could use).
     max_reserved_nodes: int = 0
+    # -- fallible RPC (repro.sim.rpc) -----------------------------------
+    #: Per-message loss probability on the control-plane channel. The
+    #: default 0.0 keeps the channel reliable and strictly pass-through
+    #: (no RNG draws, no extra events — digests unchanged).
+    rpc_drop_prob: float = 0.0
+    #: Per-message delay probability (delivered, but late).
+    rpc_delay_prob: float = 0.0
+    #: Max extra latency of a delayed message, seconds.
+    rpc_max_delay: float = 2.0
+    #: Channel seed: message fates are hashed from (seed, lane, seq).
+    rpc_seed: int = 0
+    #: Retransmit backoff for lost allocate/grant messages.
+    rpc_retry_base: float = 0.5
+    rpc_retry_max_interval: float = 8.0
+    rpc_retry_limit: int = 12
 
     def __post_init__(self) -> None:
         if self.min_allocation_mb < 1 or self.max_allocation_mb < self.min_allocation_mb:
             raise SimulationError("invalid allocation bounds")
         if self.nm_heartbeat_interval <= 0 or self.nm_liveness_timeout <= 0:
             raise SimulationError("heartbeat timings must be positive")
+        if not (0.0 <= self.rpc_drop_prob < 1.0) or not (0.0 <= self.rpc_delay_prob < 1.0):
+            raise SimulationError("rpc probabilities must be in [0, 1)")
+        if self.rpc_retry_base <= 0 or self.rpc_retry_limit < 0:
+            raise SimulationError("rpc retry parameters must be positive")
 
 
 class ContainerKilled(Exception):
@@ -280,12 +301,33 @@ class ResourceManager:
             self.node_managers = {
                 n.node_id: NodeManager(n, self.config, sim) for n in workers
             }
+        cfg = self.config
+        #: Control-plane channel; reliable (strict pass-through) unless
+        #: the config sets loss/delay probabilities.
+        self.rpc = RpcChannel(cfg.rpc_drop_prob, cfg.rpc_delay_prob,
+                              cfg.rpc_max_delay, cfg.rpc_seed)
+        #: Retransmit schedule shared by the AM allocate loop and the
+        #: RM grant-redelivery loop.
+        self.retry_policy = BackoffPolicy(
+            base=cfg.rpc_retry_base, max_interval=cfg.rpc_retry_max_interval,
+            max_retries=cfg.rpc_retry_limit)
+        #: request_id -> live request. A retransmitted allocate with a
+        #: known id returns the *same* grant event without enqueueing a
+        #: second request — the structural fix for the double-allocate
+        #: (grant-leak) bug class.
+        self._requests_by_id: dict[str, _PendingRequest] = {}
         self._pending: list[_PendingRequest] = []
         #: node_id -> request that reserved it (big-container starvation
         #: guard, like YARN's reserved containers): while a reservation
         #: holds, lower-priority requests cannot backfill that node.
         self._reservations: dict[int, _PendingRequest] = {}
         self._seq = itertools.count()
+        # RPC lane names must be run-deterministic: Container ids come
+        # from a class-level counter that keeps climbing across runs in
+        # one process, so message fates hashed on them would depend on
+        # process history. These per-RM sequences restart at zero.
+        self._grant_seq = itertools.count()
+        self._release_seq = itertools.count()
         #: Listeners invoked as fn(node) when the RM declares a node lost.
         self.node_lost_listeners: list = []
         #: Listeners invoked as fn(node) when a lost node re-registers.
@@ -312,10 +354,25 @@ class ResourceManager:
         priority: float = 10.0,
         preferred_nodes: list[Node] | None = None,
         exclude_nodes: list[Node] | None = None,
+        *,
+        request_id: str | None = None,
+        grant: Event | None = None,
     ) -> Event:
         """Ask for a container; the returned event's value is the
         :class:`Container` once granted (after ``allocation_latency``).
+
+        ``request_id`` makes the call idempotent: a retransmit carrying
+        an id the RM has already seen returns the original request's
+        grant event and enqueues nothing, so an AM that re-sends after
+        a lost response can never be granted two containers for one
+        ask. ``grant`` lets the caller supply the event to fulfil
+        (the AM-side retry loop hands out its event *before* the first
+        send reaches the RM).
         """
+        if request_id is not None:
+            prior = self._requests_by_id.get(request_id)
+            if prior is not None:
+                return prior.grant
         cfg = self.config
         memory_mb = max(cfg.min_allocation_mb, min(int(memory_mb), cfg.max_allocation_mb))
         req = _PendingRequest(
@@ -323,11 +380,13 @@ class ResourceManager:
             seq=next(self._seq),
             memory_mb=memory_mb,
             preferred=tuple(preferred_nodes or ()),
-            grant=self.sim.event(),
+            grant=grant if grant is not None else self.sim.event(),
         )
         if exclude_nodes:
             req.excluded = {n.node_id for n in exclude_nodes}
             req.preferred = tuple(n for n in req.preferred if n.node_id not in req.excluded)
+        if request_id is not None:
+            self._requests_by_id[request_id] = req
         self._pending.append(req)
         self._pending.sort()
         self._match()
@@ -340,6 +399,32 @@ class ResourceManager:
                 return
 
     def release_container(self, container: Container) -> None:
+        if self.rpc.fallible:
+            # A lost release is retransmitted on the heartbeat cadence
+            # until it lands (it is idempotent on the NM side), so loss
+            # only *delays* the capacity reclaim. The whole schedule is
+            # hash-deterministic, so the delay is computed up front and
+            # one sleeper process covers it; the zero-delay case stays
+            # synchronous.
+            lane = f"release|r{next(self._release_seq)}"
+            delay = 0.0
+            for _ in range(100):
+                outcome = self.rpc.send(lane)
+                if not outcome.dropped:
+                    delay += outcome.delay
+                    break
+                delay += self.config.rpc_retry_base
+            if delay > 0.0:
+                self.sim.process(self._delayed_release(container, delay),
+                                 name=f"release-c{container.container_id}")
+                return
+        nm = self.node_managers.get(container.node.node_id)
+        if nm is not None:
+            nm.release(container)
+        self._match()
+
+    def _delayed_release(self, container: Container, delay: float):
+        yield self.sim.timeout(delay)
         nm = self.node_managers.get(container.node.node_id)
         if nm is not None:
             nm.release(container)
@@ -503,26 +588,46 @@ class ResourceManager:
         return top[int(self.cluster.rng.integers(len(top)))]
 
     def _deliver(self, req: _PendingRequest, container: Container) -> None:
+        def requeue() -> None:
+            # Free the stranded allocation first — a short partition can
+            # heal before the liveness timeout, so the node-lost
+            # kill_all cannot be relied on to reclaim it — then
+            # transparently retry with the same grant event.
+            nm = self.node_managers.get(container.node.node_id)
+            if nm is not None:
+                nm.release(container)
+            self._pending.append(
+                _PendingRequest(
+                    req.priority, next(self._seq), req.memory_mb,
+                    req.preferred, req.grant, excluded=req.excluded,
+                )
+            )
+            self._pending.sort()
+            self._match()
+
         def handout(sim=self.sim):
             yield sim.timeout(self.config.allocation_latency)
+            if self.rpc.fallible:
+                # The grant response can be lost on the wire; the RM
+                # retransmits with backoff. The container was allocated
+                # exactly once above — only its *delivery* retries, so a
+                # lossy channel can delay but never double-allocate.
+                lane = f"grant|g{next(self._grant_seq)}"
+                for attempt in range(self.config.rpc_retry_limit + 1):
+                    outcome = self.rpc.send(lane)
+                    if not outcome.dropped:
+                        if outcome.delay > 0.0:
+                            yield sim.timeout(outcome.delay)
+                        break
+                    yield sim.timeout(self.retry_policy.interval(attempt, lane))
+                else:
+                    requeue()  # undeliverable: reclaim and start over
+                    return
             if container.alive and container.node.alive and container.node.reachable:
                 req.grant.succeed(container)
             else:
-                # Node died during handout: free the stranded allocation
-                # first — a short partition can heal before the liveness
-                # timeout, so the node-lost kill_all cannot be relied on
-                # to reclaim it — then transparently retry.
-                nm = self.node_managers.get(container.node.node_id)
-                if nm is not None:
-                    nm.release(container)
-                self._pending.append(
-                    _PendingRequest(
-                        req.priority, next(self._seq), req.memory_mb,
-                        req.preferred, req.grant, excluded=req.excluded,
-                    )
-                )
-                self._pending.sort()
-                self._match()
+                # Node died during handout.
+                requeue()
 
         self.sim.process(handout(), name=f"grant-c{container.container_id}")
 
@@ -539,6 +644,9 @@ class ResourceManager:
         if nm.lost:
             return False  # stop: a lost NM never heartbeats again
         if nm.node.reachable:
+            if self.rpc.fallible and self.rpc.heartbeat_dropped(
+                    nm.node.node_id, self.sim.now):
+                return None  # lost on the wire; liveness clock keeps aging
             nm.last_heartbeat = self.sim.now
 
     def _stamp_tick(self) -> None:
@@ -548,8 +656,17 @@ class ResourceManager:
         are unobservable between the stamps, so digests cannot move."""
         cols = self.columns
         n = cols.size
+        nid = cols.col("node_id")[:n]
         mask = cols.col("in_batch")[:n] & ~cols.col("lost")[:n]
-        mask &= self.cluster.columns.reachable[cols.col("node_id")[:n]]
+        mask &= self.cluster.columns.reachable[nid]
+        if self.rpc.fallible and self.rpc.drop_prob > 0.0:
+            # Heartbeat fates are hashed from (node_id, now), so this
+            # per-slot filter agrees bit-for-bit with the scalar plane's
+            # per-NM draws regardless of iteration order.
+            now = self.sim.now
+            for slot in np.flatnonzero(mask):
+                if self.rpc.heartbeat_dropped(int(nid[slot]), now):
+                    mask[slot] = False
         cols.col("last_heartbeat")[:n][mask] = self.sim.now
 
     def _liveness_tick(self) -> None:
@@ -570,12 +687,31 @@ class ResourceManager:
                     continue
                 if self.sim.now - nm.last_heartbeat >= self.config.nm_liveness_timeout:
                     self._declare_lost(nm)
+            if self.rpc.fallible:
+                self._reregister_false_losses()
             return
         for nm in self.node_managers.values():
             if nm.lost:
                 continue
             if self.sim.now - nm.last_heartbeat >= self.config.nm_liveness_timeout:
                 self._declare_lost(nm)
+        if self.rpc.fallible:
+            self._reregister_false_losses()
+
+    def _reregister_false_losses(self) -> None:
+        """Re-admit nodes declared lost purely through heartbeat loss.
+
+        A healthy NM whose heartbeats were eaten by the channel keeps
+        running and re-registers on its next successful round trip —
+        modelled here as the next liveness tick after the false
+        declaration. Its containers were already killed by
+        ``_declare_lost`` (as in real YARN without NM work-preserving
+        restart), so re-admission is a fresh, empty NM. Only reachable
+        fallible-channel setups ever enter this path."""
+        for node_id in sorted(self._lost_nodes):
+            nm = self.node_managers.get(node_id)
+            if nm is not None and nm.node.alive and nm.node.reachable:
+                self.register_node(nm.node)
 
     def _declare_lost(self, nm: NodeManager) -> None:
         nm.lost = True

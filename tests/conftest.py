@@ -54,12 +54,13 @@ def small_cluster(nodes: int = 6, seed: int = 42) -> ClusterSpec:
 
 def make_runtime(workload=None, nodes: int = 6, policy=None, seed: int = 42,
                  conf: JobConf | None = None, replication: int = 2,
+                 yarn_config: YarnConfig | None = None,
                  **kw) -> MapReduceRuntime:
     return MapReduceRuntime(
         workload or tiny_workload(),
         conf=conf or JobConf(),
         cluster_spec=small_cluster(nodes, seed),
-        yarn_config=YarnConfig(nm_liveness_timeout=20.0),
+        yarn_config=yarn_config or YarnConfig(nm_liveness_timeout=20.0),
         hdfs_config=HdfsConfig(block_size=64 * MB, replication=replication),
         policy=policy,
         **kw,

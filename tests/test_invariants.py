@@ -132,6 +132,7 @@ class TestStallWatchdog:
         assert set(INVARIANTS) == {
             "termination", "byte_conservation", "no_orphans",
             "containers_released", "hdfs_consistency", "trace_monotonic",
+            "am_singleton", "am_no_orphans",
         }
 
 

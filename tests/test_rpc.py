@@ -1,0 +1,152 @@
+"""The fallible RPC layer: channel semantics, idempotent allocation,
+grant redelivery, release retransmits, heartbeat-drop tolerance."""
+
+import pytest
+
+from repro.cluster import Cluster, ClusterSpec, NodeSpec
+from repro.invariants import check_invariants
+from repro.sim import Simulator
+from repro.sim.core import SimulationError
+from repro.sim.rpc import RpcChannel
+from repro.yarn import ResourceManager, YarnConfig
+
+from tests.conftest import make_runtime, tiny_workload
+
+
+def make_env(num_nodes=4, memory_mb=8192, **yarn_kw):
+    sim = Simulator()
+    racks = min(2, num_nodes)
+    cluster = Cluster(sim, ClusterSpec(num_nodes=num_nodes, num_racks=racks,
+                                       node=NodeSpec(memory_mb=memory_mb)))
+    cfg = YarnConfig(nm_memory_fraction=1.0, **yarn_kw)
+    rm = ResourceManager(sim, cluster, cfg)
+    return sim, cluster, rm
+
+
+class TestRpcChannel:
+    def test_reliable_channel_is_passthrough(self):
+        ch = RpcChannel()
+        assert not ch.fallible
+        for i in range(20):
+            out = ch.send(f"lane-{i}")
+            assert not out.dropped and out.delay == 0.0
+        assert not ch.heartbeat_dropped(3, 12.5)
+        assert ch.stats["dropped"] == ch.stats["heartbeats_dropped"] == 0
+
+    def test_outcomes_are_deterministic(self):
+        a = RpcChannel(drop_prob=0.3, delay_prob=0.3, seed=7)
+        b = RpcChannel(drop_prob=0.3, delay_prob=0.3, seed=7)
+        fates_a = [a.send("alloc|am0-r1") for _ in range(50)]
+        fates_b = [b.send("alloc|am0-r1") for _ in range(50)]
+        assert fates_a == fates_b
+        assert any(f.dropped for f in fates_a)
+        assert any(f.delay > 0 for f in fates_a)
+
+    def test_retransmits_get_independent_fates(self):
+        """Per-lane sequence counters: a retransmit on the same lane is
+        a *new* message, so a drop does not doom every retry."""
+        ch = RpcChannel(drop_prob=0.5, seed=3)
+        fates = [ch.send("grant|g0").dropped for _ in range(40)]
+        assert True in fates and False in fates
+
+    def test_heartbeat_fate_is_plane_agnostic(self):
+        """Keyed on (node_id, time), not stream position: the same
+        (node, tick) pair answers identically regardless of query order."""
+        a = RpcChannel(drop_prob=0.4, seed=9)
+        b = RpcChannel(drop_prob=0.4, seed=9)
+        fwd = [a.heartbeat_dropped(n, 10.0) for n in range(12)]
+        rev = [b.heartbeat_dropped(n, 10.0) for n in reversed(range(12))]
+        assert fwd == list(reversed(rev))
+
+    def test_validation(self):
+        with pytest.raises(SimulationError):
+            RpcChannel(drop_prob=1.0)
+        with pytest.raises(SimulationError):
+            RpcChannel(drop_prob=0.6, delay_prob=0.6)
+        with pytest.raises(SimulationError):
+            RpcChannel(max_delay=-1.0)
+        with pytest.raises(SimulationError):
+            YarnConfig(rpc_drop_prob=1.5)
+
+
+class TestIdempotentAllocation:
+    def test_duplicate_request_id_returns_same_grant(self):
+        """A retransmitted allocate (same request_id) must not allocate
+        a second container — the PR-3 grant-leak bug class, closed
+        structurally."""
+        sim, cluster, rm = make_env()
+        first = rm.request_container(1024, request_id="am0-r0")
+        dup = rm.request_container(1024, request_id="am0-r0")
+        assert dup is first
+        c = sim.run(until=first)
+        assert c.alive
+        used = sum(nm.used_mb for nm in rm.node_managers.values())
+        assert used == c.memory_mb  # exactly one allocation
+
+    def test_duplicate_after_grant_still_returns_same_event(self):
+        sim, cluster, rm = make_env()
+        first = rm.request_container(1024, request_id="am0-r1")
+        c = sim.run(until=first)
+        dup = rm.request_container(1024, request_id="am0-r1")
+        assert dup is first and dup.value is c
+
+
+class TestLossyControlPlane:
+    def test_grant_delivery_retries_through_drops(self):
+        """Containers are granted despite a lossy RM->AM path; the loss
+        only delays delivery."""
+        sim, cluster, rm = make_env(rpc_drop_prob=0.4, rpc_seed=5,
+                                    allocation_latency=0.5)
+        grants = [rm.request_container(1024, request_id=f"r{i}")
+                  for i in range(6)]
+        for g in grants:
+            c = sim.run(until=g)
+            assert c.alive
+        assert rm.rpc.stats["dropped"] > 0  # the path was actually lossy
+
+    def test_release_retransmits_reclaim_capacity(self):
+        sim, cluster, rm = make_env(rpc_drop_prob=0.45, rpc_seed=1)
+        cs = [sim.run(until=rm.request_container(1024, request_id=f"r{i}"))
+              for i in range(8)]
+        for c in cs:
+            rm.release_container(c)
+        sim.run(until=sim.now + 30.0)
+        assert all(nm.used_mb == 0 for nm in rm.node_managers.values())
+
+    def test_job_completes_and_is_deterministic_under_loss(self):
+        """End-to-end: a lossy channel (drops + delays on every lane,
+        heartbeat losses included) never breaks an otherwise fault-free
+        job, never violates invariants, and two identical runs produce
+        the identical trace digest."""
+        def run():
+            rt = make_runtime(
+                tiny_workload(),
+                yarn_config=YarnConfig(nm_liveness_timeout=20.0,
+                                       rpc_drop_prob=0.15, rpc_delay_prob=0.2,
+                                       rpc_max_delay=1.5, rpc_seed=13))
+            res = rt.run()
+            violations = check_invariants(rt, res)
+            assert violations == [], violations
+            assert res.success
+            assert rt.rm.rpc.stats["sent"] > 0
+            return res.trace.digest()
+
+        assert run() == run()
+
+    def test_extreme_heartbeat_loss_reregisters_false_losses(self):
+        """Drop enough consecutive heartbeats and the RM falsely
+        declares a live node lost; the liveness scan must re-admit it
+        (it is reachable and alive) and the job must still finish."""
+        rt = make_runtime(
+            tiny_workload(),
+            yarn_config=YarnConfig(nm_liveness_timeout=6.0,
+                                   nm_heartbeat_interval=1.0,
+                                   rpc_drop_prob=0.55, rpc_seed=2))
+        res = rt.run()
+        violations = check_invariants(rt, res)
+        assert violations == [], violations
+        assert res.success
+        lost = rt.trace.count("node_lost")
+        rejoined = rt.trace.count("node_rejoined")
+        assert lost > 0, "expected at least one false node-loss"
+        assert rejoined >= lost  # every falsely-lost node re-admitted
