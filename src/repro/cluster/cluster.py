@@ -32,15 +32,24 @@ __all__ = ["Cluster", "ClusterSpec", "flow_scheduler_class"]
 
 def flow_scheduler_class():
     """The flow scheduler implementation to use, selected by the
-    ``REPRO_SCHEDULER`` environment variable: the default incremental
-    coalescing scheduler, or ``reference`` for the eager full-recompute
-    seed implementation (equivalence tests, before/after benchmarks)."""
+    ``REPRO_SCHEDULER`` environment variable: ``columnar`` (vectorized
+    refill over flow columns — the default when the columnar data plane
+    is on), ``incremental`` (the scalar coalescing scheduler, also the
+    default under ``REPRO_DATA_PLANE=reference``), or ``reference`` for
+    the eager full-recompute seed implementation (equivalence tests,
+    before/after benchmarks). All three are bit-identical."""
     choice = os.environ.get("REPRO_SCHEDULER", "").strip().lower()
     if choice in ("reference", "eager"):
         from repro.sim.flows_reference import ReferenceFlowScheduler
 
         return ReferenceFlowScheduler
-    if choice in ("", "incremental"):
+    if choice == "incremental":
+        return FlowScheduler
+    if choice == "columnar" or (choice == "" and columnar_enabled()):
+        from repro.sim.flows_columnar import ColumnarFlowScheduler
+
+        return ColumnarFlowScheduler
+    if choice == "":
         return FlowScheduler
     raise SimulationError(f"unknown REPRO_SCHEDULER {choice!r}")
 

@@ -29,8 +29,9 @@ from typing import TYPE_CHECKING, Iterator
 if TYPE_CHECKING:  # pragma: no cover
     from repro.metrics.trace import Trace
 
-__all__ = ["maybe_profile", "periodic_times", "profiling_enabled",
-           "reset_periodic_times", "subsystem_counts", "wrap_periodic"]
+__all__ = ["flow_stats", "maybe_profile", "periodic_times",
+           "profiling_enabled", "record_flow_stats", "reset_periodic_times",
+           "subsystem_counts", "wrap_periodic"]
 
 #: Trace-event kind prefix -> subsystem label for the profile report.
 _SUBSYSTEMS = {
@@ -89,6 +90,27 @@ def wrap_periodic(fn, name: str | None):
     return timed
 
 
+#: tag -> flow-scheduler counter snapshot (``FlowScheduler.stats``),
+#: recorded at the end of profiled runs. Where :data:`_PERIODIC_TIMES`
+#: says which daemon the wall time went into, these say how much
+#: *refill* work the flow scheduler did: fill rounds executed, flows
+#: whose rate was recomputed, and (columnar scheduler) how many
+#: whole-column vector operations those refills cost.
+_FLOW_STATS: dict[str, dict] = {}
+
+
+def record_flow_stats(tag: str, stats: dict) -> None:
+    """Snapshot a flow scheduler's counters under ``tag`` for the
+    profile report (keys accumulate across same-tag runs)."""
+    bucket = _FLOW_STATS.setdefault(tag, {})
+    for key, value in stats.items():
+        bucket[key] = bucket.get(key, 0) + value
+
+
+def flow_stats() -> dict[str, dict]:
+    return {tag: dict(stats) for tag, stats in _FLOW_STATS.items()}
+
+
 def periodic_times(top: int | None = None) -> list[tuple[str, int, float]]:
     """``(name, calls, total_seconds)`` rows, most expensive first."""
     rows = sorted(((name, calls, secs) for name, (calls, secs) in _PERIODIC_TIMES.items()),
@@ -98,6 +120,7 @@ def periodic_times(top: int | None = None) -> list[tuple[str, int, float]]:
 
 def reset_periodic_times() -> None:
     _PERIODIC_TIMES.clear()
+    _FLOW_STATS.clear()
 
 
 @contextmanager
@@ -128,6 +151,15 @@ def maybe_profile(tag: str) -> Iterator[None]:
                   file=sys.stderr)
             for name, calls, secs in rows:
                 print(f"  {secs * 1e3:10.2f} ms {calls:>10} calls  {name}", file=sys.stderr)
+        if _FLOW_STATS:
+            print(f"--- flow scheduler counters [{tag}] ---", file=sys.stderr)
+            for name, stats in sorted(_FLOW_STATS.items()):
+                refill = ", ".join(
+                    f"{key}={stats[key]}"
+                    for key in ("filling_rounds", "recomputed_flows",
+                                "column_ops", "recomputes", "timer_reuses")
+                    if key in stats)
+                print(f"  {name}: {refill}", file=sys.stderr)
 
 
 def subsystem_counts(trace: "Trace") -> dict[str, int]:

@@ -41,9 +41,12 @@ import numpy as np
 from repro.sim.core import SimulationError
 
 __all__ = [
+    "AttemptColumns",
     "ColumnStore",
+    "FlowColumns",
     "Handle",
     "LivenessColumns",
+    "attempt_progress",
     "columnar_enabled",
     "data_plane_mode",
 ]
@@ -248,3 +251,187 @@ class LivenessColumns:
         self.alive[node_id] = alive
         self.net[node_id] = network_up
         self.reachable[node_id] = alive and network_up
+
+
+class FlowColumns(ColumnStore):
+    """Per-flow columns for the columnar flow scheduler.
+
+    One slot per *admitted* flow (size-0 flows complete before
+    admission and never get a slot). The scheduler treats these cells
+    as the authoritative ``remaining``/``rate`` while the flow is
+    attached; the owning :class:`~repro.sim.flows.Flow` instance
+    attributes are written back at detach so waiters and tests see the
+    familiar object state after completion/cancellation.
+
+    Besides the scalar schema there is a synced 2D ``rids`` matrix
+    (slot x max-degree) holding the dense resource ids each flow is
+    routed through, padded with ``-1`` — the edge list the vectorized
+    progressive filling consumes without touching flow objects.
+    """
+
+    SCHEMA = {
+        "remaining": "f8",  # bytes left at the last rate change
+        "rate": "f8",       # current max-min allocated rate (B/s)
+        "size": "f8",       # total bytes (constant per flow)
+        "fid": "i8",        # admission-ordered flow id (sort key)
+        "comp": "i8",       # union-find component label (a root rid)
+        "deg": "i4",        # number of valid entries in rids[slot]
+    }
+
+    __slots__ = ("rids",)
+
+    def __init__(self, capacity: int = 64, max_degree: int = 6) -> None:
+        super().__init__(dict(self.SCHEMA), capacity)
+        self.rids = np.full((self.capacity, max(int(max_degree), 1)), -1, dtype="i8")
+
+    def _grow(self) -> None:
+        super()._grow()
+        grown = np.full((self.capacity, self.rids.shape[1]), -1, dtype="i8")
+        grown[: len(self.rids)] = self.rids
+        self.rids = grown
+
+    def ensure_degree(self, degree: int) -> None:
+        """Widen the ``rids`` matrix to hold ``degree`` resources."""
+        if degree > self.rids.shape[1]:
+            width = max(degree, self.rids.shape[1] * 2)
+            grown = np.full((len(self.rids), width), -1, dtype="i8")
+            grown[:, : self.rids.shape[1]] = self.rids
+            self.rids = grown
+
+
+class AttemptColumns(ColumnStore):
+    """Per-task-attempt columns, dual-written by ``TaskAttempt``.
+
+    Unlike :class:`FlowColumns` these are a pure *read mirror*: the
+    python attempt objects stay the source of truth (attempt state
+    mutates only at discrete control-plane points), and every mutation
+    site writes the matching cells. Vectorized consumers — the
+    progress sampler's gauge block, ``Speculator._scan``, per-tick
+    ``task_progress`` emission — read whole-population snapshots
+    instead of calling ``attempt.progress`` per object.
+
+    Progress is stored *decomposed*, not as a number: a running
+    attempt's progress is ``prog_base + prog_span * flow_progress``
+    (map read/write phases, reduce shuffle/merge), or the dedicated
+    reduce-stage form when ``reduce_live`` is set (see
+    :func:`attempt_progress`). The decomposition is what lets one
+    vectorized pass reproduce the scalar property bit-for-bit without
+    any per-tick per-attempt writes.
+
+    ``flow_fid`` encodes the flow link: ``-1`` no flow, ``>= 0`` the
+    admitted flow's fid (cell-validated against ``FlowColumns``),
+    ``-2`` a flow that must be read through the python object (the
+    ``flow_refs`` side list) because it has no column cell.
+    """
+
+    SCHEMA = {
+        "seq": "i8",            # global allocation sequence (unique, ordered)
+        "task_type": "i1",      # 0 = map, 1 = reduce
+        "task_id": "i8",
+        "attempt_index": "i4",
+        "owner": "i4",          # am_attempt of the AM that owns this attempt
+        "running": "?",
+        "state": "i1",          # AttemptState ordinal
+        "start_time": "f8",
+        "prog_base": "f8",
+        "prog_span": "f8",
+        "flow_slot": "i8",      # FlowColumns slot of the live flow, or -1
+        "flow_fid": "i8",       # fid of that flow (validates the slot), -1/-2
+        "reduce_live": "?",     # in the final reduce stage (form B progress)
+        "fcm": "?",             # FCM recovery mode: progress = resume+(1-resume)*live
+        "resume": "f8",         # ALM resume fraction for the reduce stage
+        "cpu_start": "f8",
+        "cpu_secs": "f8",
+    }
+
+    __slots__ = ("flow_refs", "_next_seq")
+
+    def __init__(self, capacity: int = 64) -> None:
+        super().__init__(dict(self.SCHEMA), capacity)
+        #: slot -> live Flow object (fallback for fid == -2 / stale cells).
+        self.flow_refs: list[Any] = [None] * self.capacity
+        self._next_seq = 0
+
+    def _grow(self) -> None:
+        super()._grow()
+        self.flow_refs.extend([None] * (self.capacity - len(self.flow_refs)))
+
+    def alloc_attempt(self, **values: Any) -> int:
+        values["seq"] = self._next_seq
+        self._next_seq += 1
+        slot = self.alloc(**values)
+        self.flow_refs[slot] = None
+        return slot
+
+    def free(self, slot: int) -> None:
+        self.flow_refs[slot] = None
+        super().free(slot)
+
+
+def attempt_progress(store: AttemptColumns, slots: np.ndarray, fcols,
+                     now: float, last_update: float) -> np.ndarray:
+    """Vectorized ``TaskAttempt.progress`` for running-attempt ``slots``.
+
+    Bit-identical to the scalar property: flow progress is recovered
+    from the flow columns with the exact `remaining - rate*dt` advance
+    the ``Flow.transferred`` property applies, then combined with the
+    stored base/span decomposition. Rows whose flow link is not a valid
+    column cell (scalar flow scheduler, or a flow already detached by
+    completion/cancellation) fall back to the python flow object, which
+    is always exact by construction.
+    """
+    n = len(slots)
+    base = store.col("prog_base")[slots]
+    span = store.col("prog_span")[slots]
+    ffid = store.col("flow_fid")[slots]
+    flowprog = np.zeros(n)
+    have = ffid != -1
+    if have.any():
+        fslot = store.col("flow_slot")[slots]
+        if fcols is not None and fcols.size:
+            safe = np.where((fslot >= 0) & (fslot < fcols.size), fslot, 0)
+            valid = (have & (ffid >= 0) & (fslot >= 0) & (fslot < fcols.size)
+                     & fcols.used[safe] & (fcols.col("fid")[safe] == ffid))
+        else:
+            valid = np.zeros(n, dtype=bool)
+        if valid.any():
+            vs = fslot[valid]
+            sz = fcols.col("size")[vs]
+            rem = fcols.col("remaining")[vs]
+            dt = now - last_update
+            if dt > 0:
+                frate = fcols.col("rate")[vs]
+                rem = np.where(frate > 0, np.maximum(rem - frate * dt, 0.0), rem)
+            prog = np.ones(len(vs))
+            nz = sz != 0.0
+            prog[nz] = (sz[nz] - rem[nz]) / sz[nz]
+            flowprog[valid] = prog
+        stale = have & ~valid
+        if stale.any():
+            refs = store.flow_refs
+            for i in np.flatnonzero(stale):
+                ref = refs[int(slots[i])]
+                if ref is not None:
+                    flowprog[i] = ref.progress
+    out = base + span * flowprog
+    rl = store.col("reduce_live")[slots]
+    if rl.any():
+        fcm = store.col("fcm")[slots]
+        cpu_secs = store.col("cpu_secs")[slots]
+        has_cpu = rl & (cpu_secs > 0.0)
+        cpu_part = np.zeros(n)
+        if has_cpu.any():
+            cpu_start = store.col("cpu_start")[slots]
+            cpu_part[has_cpu] = np.minimum(
+                1.0, (now - cpu_start[has_cpu]) / cpu_secs[has_cpu])
+        # FCM's scalar progress ignores flows: live is the CPU part
+        # alone (its pre-CPU fallback ``_fcm_frac`` is 0.0 at every
+        # observable instant).
+        has_flow = rl & have & ~fcm
+        live = np.where(has_cpu & has_flow, np.minimum(flowprog, cpu_part),
+                        np.where(has_flow, flowprog,
+                                 np.where(has_cpu, cpu_part, 0.0)))
+        resume = store.col("resume")[slots]
+        rpf = resume + (1.0 - resume) * live
+        out = np.where(rl & fcm, rpf, np.where(rl, 2.0 / 3.0 + rpf / 3.0, out))
+    return out

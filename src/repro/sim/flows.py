@@ -68,7 +68,7 @@ class LinkResource:
     aggregate bandwidth, a NIC's egress, a NIC's ingress, etc.
     """
 
-    __slots__ = ("name", "_capacity", "_scheduler")
+    __slots__ = ("name", "_capacity", "_scheduler", "_rid")
 
     def __init__(self, name: str, capacity: float) -> None:
         if capacity <= 0:
@@ -76,6 +76,8 @@ class LinkResource:
         self.name = name
         self._capacity = float(capacity)
         self._scheduler = None
+        #: Dense id assigned by a columnar scheduler at first use.
+        self._rid = -1
 
     @property
     def capacity(self) -> float:
@@ -99,7 +101,7 @@ class Flow:
     """An in-flight transfer of ``size`` bytes across resources."""
 
     __slots__ = ("name", "size", "remaining", "resources", "done", "fid",
-                 "_rate", "_active", "_sched")
+                 "_rate", "_active", "_sched", "_cols", "_slot")
 
     def __init__(self, name: str, size: float, resources: tuple[LinkResource, ...], done: Event) -> None:
         self.name = name
@@ -116,6 +118,11 @@ class Flow:
         self._rate = 0.0
         self._active = True
         self._sched = None
+        #: While attached to a columnar scheduler, (_cols, _slot) name
+        #: the authoritative remaining/rate cells; the instance
+        #: attributes are written back at detach.
+        self._cols = None
+        self._slot = -1
 
     @property
     def rate(self) -> float:
@@ -125,6 +132,9 @@ class Flow:
         sched = self._sched
         if sched is not None and sched._dirty:
             sched._flush()
+        cols = self._cols
+        if cols is not None:
+            return float(cols.col("rate")[self._slot])
         return self._rate
 
     @property
@@ -135,11 +145,17 @@ class Flow:
     @property
     def transferred(self) -> float:
         """Bytes moved so far, accurate at the current simulated time."""
-        remaining = self.remaining
-        if self._active and self._sched is not None and self._rate > 0:
+        cols = self._cols
+        if cols is not None:
+            remaining = float(cols.col("remaining")[self._slot])
+            rate = float(cols.col("rate")[self._slot])
+        else:
+            remaining = self.remaining
+            rate = self._rate
+        if self._active and self._sched is not None and rate > 0:
             dt = self._sched.sim.now - self._sched._last_update
             if dt > 0:
-                remaining = max(0.0, remaining - self._rate * dt)
+                remaining = max(0.0, remaining - rate * dt)
         return self.size - remaining
 
     @property
@@ -174,6 +190,10 @@ class FlowScheduler:
         self._in_batch = False
         self._timer: Timeout | None = None
         self._timer_fire = math.inf
+        #: Optional hook called with each flow the instant it completes
+        #: (before its ``done`` event succeeds) — the ``flow_done``
+        #: trace kind hangs off this, identically across schedulers.
+        self.on_complete = None
         #: Observability counters for benchmarks / REPRO_PROFILE.
         self.stats = {
             "transfers": 0,
@@ -184,6 +204,7 @@ class FlowScheduler:
             "filling_rounds": 0,
             "timer_pushes": 0,
             "timer_reuses": 0,
+            "column_ops": 0,
         }
 
     @property
@@ -357,7 +378,10 @@ class FlowScheduler:
         for f in finished:
             f.remaining = 0.0
             self._remove(f)
+        hook = self.on_complete
         for f in finished:
+            if hook is not None:
+                hook(f)
             f.done.succeed(f)
         self.stats["completions"] += len(finished)
 

@@ -49,6 +49,9 @@ class ReferenceFlowScheduler:
         self._timer_version = 0
         self._names = itertools.count()
         self._next_fid = 0
+        #: Completion hook, mirrored from the production scheduler so
+        #: the ``flow_done`` trace kind fires identically here.
+        self.on_complete = None
         self.stats = {
             "transfers": 0,
             "cancels": 0,
@@ -58,6 +61,7 @@ class ReferenceFlowScheduler:
             "filling_rounds": 0,
             "timer_pushes": 0,
             "timer_reuses": 0,
+            "column_ops": 0,
         }
 
     @property
@@ -179,7 +183,10 @@ class ReferenceFlowScheduler:
             f.remaining = 0.0
             f._active = False
             self._active.remove(f)
+        hook = self.on_complete
         for f in finished:
+            if hook is not None:
+                hook(f)
             f.done.succeed(f)
         self.stats["completions"] += len(finished)
 

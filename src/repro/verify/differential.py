@@ -51,6 +51,10 @@ COMBOS: tuple[tuple[str, str], ...] = (
     ("reference", "default"),
     ("default", "reference"),
     ("reference", "reference"),
+    # Pins the incremental scalar flow scheduler against the columnar
+    # one under the default (columnar) data plane; the reference eager
+    # scheduler is already covered by the rows above.
+    ("default", "incremental"),
 )
 
 #: The --quick budget still crosses both axes at once: one combo with

@@ -71,6 +71,11 @@ class Scenario:
     #: RPC-channel knobs, as (name, value) pairs without the ``rpc_``
     #: prefix (e.g. ``("drop_prob", 0.1)`` -> ``rpc_drop_prob=0.1``).
     rpc: tuple[tuple[str, Any], ...] = ()
+    #: Enable LATE-style speculative execution (stock defaults).
+    speculation: bool = False
+    #: Register the high-volume trace kinds (``task_progress``,
+    #: ``flow_done``) — the columnar-storage exercise path.
+    trace_columnar: bool = False
     tags: frozenset[str] = field(default_factory=frozenset)
 
     def to_spec(self) -> dict[str, Any]:
@@ -95,6 +100,10 @@ class Scenario:
             spec["conf"] = dict(self.conf)
         if self.rpc:
             spec["rpc"] = dict(self.rpc)
+        if self.speculation:
+            spec["speculation"] = True
+        if self.trace_columnar:
+            spec["trace_columnar"] = True
         return spec
 
 
@@ -178,6 +187,8 @@ def run_verify_spec(spec: dict[str, Any],
         hdfs_config=HdfsConfig(replication=spec["replication"]),
         policy=make_policy(spec["policy"]),
         job_name=f"verify-{spec['name']}",
+        speculation=bool(spec.get("speculation", False)),
+        trace_columnar=bool(spec.get("trace_columnar", False)),
     )
     if fault_dicts:
         FaultInjector(*[build_fault(d) for d in fault_dicts]).install(rt)
@@ -323,3 +334,16 @@ register(Scenario("am-exhaust-yarn", tags=frozenset({"am"}),
                   conf=(("am_max_attempts", 2),),
                   faults=({"kind": "am-crash", "at_progress": 0.4,
                            "repeat": 2, "repeat_gap": 6.0},)))
+
+# Columnar task/flow data-plane exercisers. ``shuffle-heavy-yarn``
+# maximises concurrent shuffle flows (many reducers, extra input) with
+# the high-volume trace kinds on; ``straggler-spec-alm`` degrades a
+# node hard enough that LATE speculation actually duplicates tasks, so
+# the vectorized speculator scan and per-attempt progress records are
+# on the digest-pinned path.
+register(Scenario("shuffle-heavy-yarn", input_gb=2.0, reducers=6, nodes=9,
+                  trace_columnar=True, tags=frozenset({"flows"})))
+register(Scenario("straggler-spec-alm", policy="alm", speculation=True,
+                  trace_columnar=True, tags=frozenset({"flows"}), faults=(
+    {"kind": "degraded", "node_index": 2, "at_time": 5.0,
+     "disk_factor": 0.08, "nic_factor": 0.3, "duration": 300.0},)))
