@@ -61,16 +61,26 @@ def _chaos_plan(spec: dict[str, Any]) -> CampaignPlan:
     trials = int(spec["trials"])
     scale = float(spec.get("scale", 1.0))
     am_faults = bool(spec.get("am_faults", False))
+    policies = tuple(str(p) for p in (spec.get("policies") or ()))
     campaign = {"seed": seed, "scale": scale}
     if am_faults:
         campaign["am_faults"] = True
+    if policies:
+        # Explicit roster only: its absence keeps historical specs (and
+        # their experiment keys / cached trials) byte-stable.
+        campaign["policies"] = list(policies)
     for key in ("hard_timeout", "stall_timeout"):
         if key in spec:
             campaign[key] = float(spec[key])
+    plan_spec = dict(spec, kind="chaos", seed=seed, trials=trials, scale=scale,
+                     am_faults=am_faults)
+    experiment = f"chaos:{seed}:{scale}" + (":am" if am_faults else "")
+    if policies:
+        plan_spec["policies"] = list(policies)
+        experiment += ":" + ",".join(policies)
     return CampaignPlan(
-        spec=dict(spec, kind="chaos", seed=seed, trials=trials, scale=scale,
-                  am_faults=am_faults),
-        experiment=f"chaos:{seed}:{scale}" + (":am" if am_faults else ""),
+        spec=plan_spec,
+        experiment=experiment,
         fn=run_chaos_trial,
         kwargs={"campaign": campaign},
         trials=[TrialSpec(i) for i in range(trials)],

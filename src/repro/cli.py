@@ -78,7 +78,14 @@ from repro.workloads import BENCHMARKS
 
 __all__ = ["main", "parse_fault"]
 
-_POLICIES = ("yarn", "alg", "sfm", "alm", "iss")
+
+def _policy_choices() -> tuple[str, ...]:
+    """Every registered recovery policy (the zoo), lazily discovered so
+    ``--help`` stays cheap and a broken policy module fails loudly at
+    the point of use, not at import."""
+    from repro.policies import policy_names
+
+    return policy_names()
 _EXPERIMENTS = (
     "fig01", "fig02", "fig03", "fig04", "fig08", "fig09", "fig10",
     "fig11", "fig12", "fig13", "fig14", "fig15", "table2",
@@ -133,6 +140,19 @@ def _node_target(text: str):
     return int(text)
 
 
+def _parse_policies(text: str | None) -> tuple[str, ...] | None:
+    """``--policies`` value -> roster tuple (``'all'`` = the registry),
+    or None when the flag was not given (historical default rotation)."""
+    if text is None:
+        return None
+    if text.strip() == "all":
+        return _policy_choices()
+    roster = tuple(p.strip() for p in text.split(",") if p.strip())
+    if not roster:
+        raise argparse.ArgumentTypeError("empty --policies roster")
+    return roster
+
+
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -145,7 +165,7 @@ def _build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("--size-gb", type=float, default=None,
                        help="input size in GB (default: the paper's size)")
     p_run.add_argument("--reducers", type=int, default=None)
-    p_run.add_argument("--policy", choices=_POLICIES, default="yarn")
+    p_run.add_argument("--policy", choices=_policy_choices(), default="yarn")
     p_run.add_argument("--fault", action="append", default=[], type=parse_fault,
                        metavar="SPEC", help="fault spec (repeatable); see module docs")
     p_run.add_argument("--nodes", type=int, default=21)
@@ -176,6 +196,10 @@ def _build_parser() -> argparse.ArgumentParser:
                        default=None,
                        help="profile the experiment driver (sets REPRO_PROFILE; "
                             "reaches worker processes too)")
+    p_exp.add_argument("--policies", metavar="LIST", default=None,
+                       help="comma-separated policy roster, or 'all' for the "
+                            "whole registry (table2 only: sweeps the roster "
+                            "instead of the paper's yarn/sfm pair)")
 
     p_chaos = sub.add_parser(
         "chaos", help="run a seeded chaos campaign with invariant checking")
@@ -188,6 +212,10 @@ def _build_parser() -> argparse.ArgumentParser:
     p_chaos.add_argument("--am-faults", action="store_true",
                          help="include AM-crash and lossy-RPC archetypes "
                               "in the fault pool")
+    p_chaos.add_argument("--policies", metavar="LIST", default=None,
+                         help="comma-separated policy roster to rotate trials "
+                              "across, or 'all' for every registered policy "
+                              "(default: the five seed systems)")
     p_chaos.add_argument("--smoke", action="store_true",
                          help="CI budget: smaller inputs, at most 30 trials")
     p_chaos.add_argument("--jobs", type=int, default=None, metavar="N",
@@ -220,6 +248,8 @@ def _build_parser() -> argparse.ArgumentParser:
     c_submit.add_argument("--scale", type=float, default=1.0)
     c_submit.add_argument("--am-faults", action="store_true",
                           help="include AM-crash and lossy-RPC archetypes")
+    c_submit.add_argument("--policies", metavar="LIST", default=None,
+                          help="comma-separated policy roster, or 'all'")
     c_submit.add_argument("--strategy", default="fifo",
                           choices=("fifo", "priority", "dependency"))
     c_submit.add_argument("--jobs", type=int, default=None, metavar="N",
@@ -294,12 +324,7 @@ def cmd_run(args) -> int:
     wl = factory() if args.size_gb is None else factory(args.size_gb)
     if args.reducers is not None:
         wl = wl.with_reducers(args.reducers)
-    if args.policy == "iss":
-        from repro.baselines import ISSPolicy
-
-        policy = ISSPolicy()
-    else:
-        policy = make_policy(args.policy)
+    policy = make_policy(args.policy)
     rt = MapReduceRuntime(
         wl,
         conf=JobConf(),
@@ -416,7 +441,9 @@ def _dispatch_experiment(args) -> int:
                            [(r.workload, r.system, r.job_time, r.recovery_time)
                             for r in rows], title="Fig. 15"))
     elif name == "table2":
-        rows = ex.table2_spatial_recovery(scale=scale)
+        roster = _parse_policies(getattr(args, "policies", None))
+        kwargs = {"systems": roster} if roster else {}
+        rows = ex.table2_spatial_recovery(scale=scale, **kwargs)
         print(format_table(["type", "point", "extra fails", "time (s)"],
                            [(r.system, r.first_failure_point, r.additional_failures,
                              r.execution_time) for r in rows], title="Table II"))
@@ -450,7 +477,8 @@ def cmd_chaos(args) -> int:
     try:
         summary = run_campaign(seed=args.seed, trials=trials, scale=scale,
                                out_dir=args.out, minimize=not args.no_minimize,
-                               store=args.store, am_faults=args.am_faults)
+                               store=args.store, am_faults=args.am_faults,
+                               policies=_parse_policies(args.policies))
     except KeyboardInterrupt:
         if args.store:
             print(f"\ninterrupted — completed trials are checkpointed; resume "
@@ -491,6 +519,9 @@ def cmd_campaign(args) -> int:
         else:
             spec = {"kind": "chaos", "seed": args.seed, "trials": args.trials,
                     "scale": args.scale, "am_faults": args.am_faults}
+            roster = _parse_policies(args.policies)
+            if roster:
+                spec["policies"] = list(roster)
         return _campaign_run_spec(spec, args)
 
     if args.campaign_cmd == "resume":
@@ -530,7 +561,9 @@ def _campaign_run_spec(spec, args) -> int:
                 scale=spec.get("scale", 1.0),
                 out_dir=getattr(args, "out", None),
                 minimize=not getattr(args, "no_minimize", False),
-                store=args.store, strategy=getattr(args, "strategy", "fifo"))
+                store=args.store, strategy=getattr(args, "strategy", "fifo"),
+                am_faults=bool(spec.get("am_faults", False)),
+                policies=spec.get("policies"))
             _print_chaos_summary(summary)
             print(f"  campaign id: {summary['campaign_id']}  (store: {args.store})")
             return 1 if summary["violations"] else 0
@@ -670,8 +703,13 @@ def cmd_verify(args) -> int:
 
 
 def cmd_list(_args) -> int:
+    from repro.policies import policy_specs
+
     print("workloads:  " + ", ".join(sorted(BENCHMARKS)))
-    print("policies:   " + ", ".join(_POLICIES))
+    print("policies:")
+    for spec in policy_specs():
+        tag = " [seed]" if spec.seed else ""
+        print(f"  {spec.name:10s} {spec.description}{tag}")
     print("experiments:" + " " + ", ".join(_EXPERIMENTS))
     return 0
 

@@ -68,21 +68,17 @@ class ExperimentConfig:
 def make_policy(system: str, alg_frequency: float = 10.0,
                 alg_level: ReplicationLevel = ReplicationLevel.RACK,
                 fcm_cap: int = 10):
-    """Build the recovery policy for a named system under test."""
-    alg = ALGConfig(frequency=alg_frequency, level=alg_level)
-    if system == "yarn":
-        return YarnRecoveryPolicy()
-    if system == "alg":
-        return ALMPolicy(ALMConfig(enable_alg=True, enable_sfm=False, alg=alg))
-    if system == "sfm":
-        return ALMPolicy(ALMConfig(enable_alg=False, enable_sfm=True, fcm_cap=fcm_cap))
-    if system == "alm":
-        return ALMPolicy(ALMConfig(alg=alg, fcm_cap=fcm_cap))
-    if system == "iss":
-        from repro.baselines.iss import ISSPolicy
+    """Build the recovery policy for a named system under test.
 
-        return ISSPolicy()
-    raise ValueError(f"unknown system {system!r}")
+    Thin wrapper over the policy registry (:mod:`repro.policies`) kept
+    for its historical signature: the experiment drivers pass one
+    kwargs namespace and each registered factory receives only the
+    knobs it declares.
+    """
+    from repro.policies import make_policy as registry_make_policy
+
+    return registry_make_policy(system, alg_frequency=alg_frequency,
+                                alg_level=alg_level, fcm_cap=fcm_cap)
 
 
 def run_benchmark_job(

@@ -33,6 +33,13 @@ def table2_spatial_recovery(
     scale: float | None = None,
     config: ExperimentConfig | None = None,
 ) -> list[Table2Row]:
+    """The paper's pair by default; ``systems="all"`` (or any explicit
+    roster) sweeps the whole policy registry through the same failure
+    grid — the full-zoo comparison in one call."""
+    if systems == "all":
+        from repro.policies import policy_names
+
+        systems = policy_names()
     scale = scale_from_env(1.0) if scale is None else scale
     wl = terasort(100.0 * scale, num_reducers=num_reducers)
     rows: list[Table2Row] = []

@@ -92,11 +92,15 @@ def generate_trial(campaign: dict[str, Any], index: int) -> dict[str, Any]:
     """Derive trial ``index``'s complete spec from the campaign seed."""
     rng = np.random.default_rng([int(campaign["seed"]), int(index)])
     scale = float(campaign.get("scale", 1.0))
+    # An explicit policy roster widens (or narrows) the rotation; its
+    # absence keeps every historical campaign seed regenerating the
+    # exact schedules it always did.
+    policies = tuple(campaign.get("policies") or CHAOS_POLICIES)
     workload = ("terasort", "wordcount", "secondarysort")[int(rng.integers(3))]
     nodes = int(rng.integers(6, 10))
     spec: dict[str, Any] = {
         "index": index,
-        "policy": CHAOS_POLICIES[index % len(CHAOS_POLICIES)],
+        "policy": policies[index % len(policies)],
         "workload": workload,
         "input_gb": round(float(rng.uniform(2.0, 5.0)) * scale, 3),
         "reducers": int(rng.integers(2, 5)),
@@ -425,6 +429,7 @@ def run_campaign(
     store: Any = None,
     strategy: str = "fifo",
     am_faults: bool = False,
+    policies: tuple[str, ...] | list[str] | None = None,
 ) -> dict[str, Any]:
     """Run (or resume) a campaign; write a reproducer per violating
     trial.
@@ -443,9 +448,22 @@ def run_campaign(
     from repro.campaign import CampaignScheduler, CampaignStore, aggregate_chaos, build_plan
     from repro.runner import atomic_write_text
 
-    plan = build_plan({"kind": "chaos", "seed": int(seed),
-                       "trials": int(trials), "scale": float(scale),
-                       "am_faults": bool(am_faults)})
+    spec: dict[str, Any] = {"kind": "chaos", "seed": int(seed),
+                            "trials": int(trials), "scale": float(scale),
+                            "am_faults": bool(am_faults)}
+    if policies:
+        from repro.policies import policy_names
+
+        known = set(policy_names())
+        unknown = [p for p in policies if p not in known]
+        if unknown:
+            raise SimulationError(
+                f"unknown polic{'ies' if len(unknown) > 1 else 'y'} "
+                f"{', '.join(unknown)}; registered: {', '.join(sorted(known))}")
+        # Only an explicit roster enters the plan: the default keeps
+        # historical campaign ids (and their cached trials) stable.
+        spec["policies"] = list(policies)
+    plan = build_plan(spec)
     owns_store = not isinstance(store, CampaignStore)
     opened = CampaignStore(store if store is not None else ":memory:") \
         if owns_store else store

@@ -160,6 +160,7 @@ class MRAppMaster:
             healthy = self.rm.healthy_nodes()
             if healthy:
                 preferred = [healthy[task.task_id % len(healthy)]]
+        preferred, exclude = self.policy.steer_placement(task, preferred, exclude)
         mem = (self.conf.map_memory_mb if task.task_type is TaskType.MAP
                else self.conf.reduce_memory_mb)
         task.outstanding_requests += 1
@@ -292,6 +293,7 @@ class MRAppMaster:
         task = attempt.task
         self.trace.log("attempt_success", task=task.name, attempt=attempt.attempt_id,
                        node=attempt.node.name, elapsed=attempt.elapsed)
+        self.policy.on_attempt_outcome(attempt, ok=True)
         if self._finished or task.state is TaskState.SUCCEEDED:
             return  # speculative duplicate or late completion
         task.state = TaskState.SUCCEEDED
@@ -348,6 +350,7 @@ class MRAppMaster:
         task.failed_attempts += 1
         self.trace.log("attempt_failed", task=task.name, attempt=attempt.attempt_id,
                        node=attempt.node.name, reason=reason, type=task.task_type.value)
+        self.policy.on_attempt_outcome(attempt, ok=False)
         if self._finished or task.is_finished:
             return
         if task.failed_attempts >= self.conf.max_attempts:

@@ -122,10 +122,10 @@ class MapReduceRuntime:
         self._chain_am(self.am)
         self.speculator = None
         if speculation:
-            from repro.mapreduce.speculation import SpeculationConfig, Speculator
+            from repro.mapreduce.speculation import SpeculationConfig
 
             spec_cfg = speculation if isinstance(speculation, SpeculationConfig) else None
-            self.speculator = Speculator(self.am, spec_cfg)
+            self.speculator = self.policy.make_speculator(self.am, spec_cfg)
         self.sampler = ProgressSampler(self.sim, self.trace, interval=sample_interval)
         # Probes go through ``self.am`` late-bound so they track the
         # live incarnation across AM restarts. On the columnar plane the

@@ -58,6 +58,27 @@ class RecoveryPolicy:
         """
         return "report"
 
+    # -- speculation / placement extension points -------------------------------
+    def make_speculator(self, am: "MRAppMaster", config=None):
+        """Build the job's speculator (straggler-detector policies swap
+        in their own subclass here). Default: the stock LATE scanner."""
+        from repro.mapreduce.speculation import Speculator
+
+        return Speculator(am, config)
+
+    def steer_placement(
+        self, task: Task, preferred: "list[Node] | None",
+        exclude: "list[Node] | None",
+    ) -> "tuple[list[Node] | None, list[Node] | None]":
+        """Adjust the container request's placement hints before the AM
+        asks the RM (failure-aware schedulers veto risky nodes here).
+        Default: pass both lists through unchanged."""
+        return preferred, exclude
+
+    def on_attempt_outcome(self, attempt, ok: bool) -> None:
+        """Every attempt outcome the AM observes (success and failure),
+        for policies that keep per-node outcome history. Default: no-op."""
+
     # -- attempt construction -------------------------------------------------
     def make_reduce_attempt(self, task: Task, container: "Container", **kwargs):
         """Build the reduce attempt (ALM injects logging/recovery here)."""

@@ -104,7 +104,12 @@ class ReduceAttempt(TaskAttempt):
         self._reduce_cpu_seconds = 0.0
         self.reduce_resume_fraction = 0.0
         self.recovery = recovery
+        # Spill knobs as instance attributes so in-memory-shuffle
+        # variants (M3R) can lift them without forking the fetch/merge
+        # machinery.
         self._buffer = conf.shuffle_buffer_bytes
+        self._single_segment_max = conf.shuffle_single_segment_max
+        self._merge_trigger = conf.shuffle_merge_trigger_bytes
         self._registered = False
 
     # -- progress ----------------------------------------------------------
@@ -172,6 +177,19 @@ class ReduceAttempt(TaskAttempt):
         if node_id not in self._hosts_queued:
             self._hosts_queued.add(node_id)
             self._host_queue.put(node_id)
+
+    def _requeue_moved(self, node_id: int, batch: dict[int, MapOutput]) -> None:
+        # While these ids were in-flight against ``node_id``, a
+        # regenerated MOF may have been announced at a new host; that
+        # host's queue entry was consumed with an empty batch (the ids
+        # were still in-flight), so nothing would ever fetch from it
+        # again. Re-queue any other host still holding one of them.
+        moved = {mid for mid in batch if mid not in self.fetched}
+        if not moved:
+            return
+        for other, pending in self.host_pending.items():
+            if other != node_id and moved & pending.keys():
+                self._enqueue_host(other)
 
     # -- main attempt body --------------------------------------------------
     def run(self):
@@ -260,6 +278,7 @@ class ReduceAttempt(TaskAttempt):
                     self._account_success(node_id, batch, size, to_disk=outcome)
                 else:
                     yield from self._fetch_round_failed(host, node_id, batch)
+                self._requeue_moved(node_id, batch)
         except (Interrupt, SimulationError):
             # Interrupted by attempt cleanup, or our own node died:
             # fetchers die silently with the attempt.
@@ -270,7 +289,7 @@ class ReduceAttempt(TaskAttempt):
         Returns the to-disk decision on success, None on failure."""
         conf = self.am.conf
         to_disk = (
-            size > conf.shuffle_single_segment_max
+            size > self._single_segment_max
             or self.mem_bytes + size > self._buffer
         )
         for k in range(conf.fetch_retries_per_host):
@@ -306,7 +325,7 @@ class ReduceAttempt(TaskAttempt):
         else:
             self.mem_segments.append(size)
             self.mem_bytes += size
-            if self.mem_bytes > conf.shuffle_merge_trigger_bytes:
+            if self.mem_bytes > self._merge_trigger:
                 self._merge_kick.put(True)
         if pending:
             self._enqueue_host(node_id)
@@ -375,8 +394,7 @@ class ReduceAttempt(TaskAttempt):
         try:
             while True:
                 yield self._merge_kick.get()
-                conf = self.am.conf
-                while self.mem_bytes > conf.shuffle_merge_trigger_bytes:
+                while self.mem_bytes > self._merge_trigger:
                     yield from self.flush_memory()
         except (Interrupt, FlowCancelled, SimulationError):
             return

@@ -85,19 +85,14 @@ class Speculator:
             estimates = self._estimates_columnar(tasks, task_type, now)
         else:
             estimates = self._estimates_scalar(tasks, now)
-        # Benchmark: completed peers' durations when available (so the
-        # last stragglers aren't compared only against each other),
-        # else the running estimates.
         completed = [
             t.attempts[-1].elapsed for t in tasks
             if t.state is TaskState.SUCCEEDED and t.attempts
         ]
-        if len(completed) >= 3:
-            mean_est = sum(completed) / len(completed)
-        elif len(estimates) >= 2:
-            mean_est = sum(e for e, _ in estimates) / len(estimates)
-        else:
+        picked = self._cutoff(estimates, completed)
+        if picked is None:
             return
+        cutoff, mean_est = picked
         active_dups = sum(
             1 for t in tasks
             if (task_type, t.task_id) in self.speculated and len(t.running_attempts()) > 1
@@ -108,7 +103,7 @@ class Speculator:
             key = (task_type, task.task_id)
             if key in self.speculated:
                 continue
-            if est > cfg.slowness_threshold * mean_est:
+            if est > cutoff:
                 self.speculated.add(key)
                 active_dups += 1
                 self.am.trace.log("speculation", task=task.name,
@@ -118,6 +113,27 @@ class Speculator:
                 exclude = [task.running_attempts()[0].node]
                 self.am.schedule_task(task, priority=prio, exclude=exclude,
                                       attempt_kwargs={"speculative": True})
+
+    def _cutoff(self, estimates: list[tuple[float, Task]],
+                completed: list[float]) -> tuple[float, float] | None:
+        """The speculation threshold for this scan: ``(cutoff,
+        benchmark)``, or None when the sample is too small to judge.
+
+        The benchmark prefers completed peers' durations when available
+        (so the last stragglers aren't compared only against each
+        other), else the running estimates. Statistical straggler
+        detectors override this (the scan loop and trace records are
+        shared); ``benchmark`` is what the ``speculation`` trace event
+        reports as ``mean``.
+        """
+        cfg = self.config
+        if len(completed) >= 3:
+            mean_est = sum(completed) / len(completed)
+        elif len(estimates) >= 2:
+            mean_est = sum(e for e, _ in estimates) / len(estimates)
+        else:
+            return None
+        return cfg.slowness_threshold * mean_est, mean_est
 
     # -- completion-estimate scans ------------------------------------------
     def _estimates_scalar(self, tasks: list[Task], now: float) -> list[tuple[float, Task]]:

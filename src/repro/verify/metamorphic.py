@@ -379,3 +379,38 @@ register_relation(Relation(
     transform=_drop_faults,
     oracle=_fault_slowdown_oracle,
 ))
+
+
+def _add_mapnode_crash(spec: dict[str, Any]) -> dict[str, Any]:
+    spec["faults"] = list(spec["faults"]) + [
+        {"kind": "node-crash", "target": "map-only", "at_progress": 0.35}]
+    return spec
+
+
+def _amplification_oracle(base, variant, base_spec, variant_spec) -> list[str]:
+    out = []
+    added = (variant["kinds"].get("fault_injected", 0)
+             - base["kinds"].get("fault_injected", 0))
+    if added < 1:
+        out.append("the added node crash never fired — the relation is "
+                   "vacuous")
+    if base["success"] and not variant["success"]:
+        out.append("the extra crash turned a recoverable run into a failure")
+    if (base["success"] and variant["success"]
+            and variant["elapsed"] < base["elapsed"]):
+        out.append(f"adding a node crash made the job finish earlier: "
+                   f"{base['elapsed']:.3f}s -> {variant['elapsed']:.3f}s — "
+                   "recovery amplification cannot be negative")
+    return out
+
+
+register_relation(Relation(
+    name="amplification-ordering",
+    scenario="binocular-crash-reducer",
+    description="Adding a node crash to an already-faulted schedule never "
+                "decreases job time: failure amplification is monotone in "
+                "the fault set (checked on the binocular zoo policy, whose "
+                "dual recovery attempts are the likeliest to mask it).",
+    transform=_add_mapnode_crash,
+    oracle=_amplification_oracle,
+))

@@ -113,9 +113,11 @@ SCENARIOS: dict[str, Scenario] = {}
 
 
 def register(scenario: Scenario) -> Scenario:
+    from repro.policies import policy_names
+
     if scenario.name in SCENARIOS:
         raise SimulationError(f"duplicate scenario name {scenario.name!r}")
-    if scenario.policy not in ("yarn", "alg", "sfm", "alm", "iss"):
+    if scenario.policy not in policy_names():
         raise SimulationError(f"scenario {scenario.name}: unknown policy "
                               f"{scenario.policy!r}")
     if scenario.workload not in BENCHMARKS:
@@ -347,3 +349,21 @@ register(Scenario("straggler-spec-alm", policy="alm", speculation=True,
                   trace_columnar=True, tags=frozenset({"flows"}), faults=(
     {"kind": "degraded", "node_index": 2, "at_time": 5.0,
      "disk_factor": 0.08, "nic_factor": 0.3, "duration": 300.0},)))
+
+# Policy-zoo exercisers: one scenario per non-seed registry policy,
+# each shaped so the policy's distinctive machinery is on the
+# digest-pinned path (appended after the historical corpus so the 23
+# pre-existing golden digests are untouched).
+register(Scenario("binocular-crash-reducer", policy="binocular",
+                  tags=frozenset({"zoo"}), faults=(_crash(0.5),)))
+register(Scenario("atlas-oom-recurring", policy="atlas",
+                  tags=frozenset({"zoo"}), faults=(
+    {"kind": "task-oom", "task_type": "reduce", "task_index": 0,
+     "at_progress": 0.3, "repeat": 3},)))
+register(Scenario("quantile-straggler-spec", policy="quantile",
+                  speculation=True, tags=frozenset({"zoo"}), faults=(
+    {"kind": "degraded", "node_index": 2, "at_time": 5.0,
+     "disk_factor": 0.08, "nic_factor": 0.3, "duration": 300.0},)))
+register(Scenario("m3r-crash-mapnode", policy="m3r",
+                  tags=frozenset({"zoo"}), faults=(
+    {"kind": "node-crash", "target": "map-only", "at_time": 10.0},)))

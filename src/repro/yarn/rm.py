@@ -333,6 +333,12 @@ class ResourceManager:
         #: Listeners invoked as fn(node) when a lost node re-registers.
         self.node_rejoined_listeners: list = []
         self._lost_nodes: set[int] = set()
+        #: node_id -> how many times the RM has declared it lost over
+        #: the RM's lifetime. Unlike any per-AM bookkeeping this
+        #: survives AM restarts, so failure-aware placement policies
+        #: (e.g. the atlas zoo policy) can recognise a flapping node
+        #: even when the job's own outcome history died with the AM.
+        self.node_lost_counts: dict[int, int] = {}
         if self._columnar:
             for nm in self.node_managers.values():
                 self._nm_by_slot[nm.slot] = nm
@@ -716,6 +722,8 @@ class ResourceManager:
     def _declare_lost(self, nm: NodeManager) -> None:
         nm.lost = True
         self._lost_nodes.add(nm.node.node_id)
+        self.node_lost_counts[nm.node.node_id] = \
+            self.node_lost_counts.get(nm.node.node_id, 0) + 1
         self._reservations.pop(nm.node.node_id, None)
         nm.kill_all(f"{nm.node.name} lost")
         for fn in list(self.node_lost_listeners):

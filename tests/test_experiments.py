@@ -22,6 +22,7 @@ from repro.experiments import (
     table2_spatial_recovery,
 )
 from repro.experiments.common import make_policy, run_benchmark_job
+from repro.sim.core import SimulationError
 from repro.workloads import terasort
 
 
@@ -39,7 +40,7 @@ class TestCommon:
         assert make_policy("alg").name == "alg"
         assert make_policy("sfm").name == "sfm"
         assert make_policy("alm").name == "alm"
-        with pytest.raises(ValueError):
+        with pytest.raises(SimulationError):
             make_policy("hope")
 
     def test_run_benchmark_job_returns_runtime_and_result(self):

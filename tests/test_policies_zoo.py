@@ -1,0 +1,299 @@
+"""Per-policy tests for the zoo (binocular / atlas / quantile / m3r)
+plus migration parity for the five seed systems.
+
+The parity class pins the registry migration: building a seed policy
+through the registry must yield exactly the object the pre-registry
+hand-wired construction built (same class, same config values) — the
+golden corpus then guarantees same *behaviour*, since those 23 digests
+were frozen before the registry existed.
+"""
+
+from collections import deque
+
+import pytest
+
+from repro.alm import ALGConfig, ALMConfig, ALMPolicy
+from repro.baselines.iss import ISSPolicy
+from repro.faults import (
+    TaskFault,
+    kill_node_at_progress,
+    kill_reduce_at_progress,
+)
+from repro.hdfs.hdfs import ReplicationLevel
+from repro.mapreduce.recovery import YarnRecoveryPolicy
+from repro.policies import make_policy
+from repro.policies.atlas import AtlasPolicy
+from repro.policies.binocular import BinocularPolicy
+from repro.policies.m3r import M3RPolicy, M3RReduceAttempt
+from repro.policies.quantile import (
+    QuantilePolicy,
+    QuantileSpeculator,
+    quantile,
+    tukey_fence,
+)
+from repro.sim.core import SimulationError
+from repro.yarn.rm import YarnConfig
+
+from tests.conftest import make_runtime, tiny_workload
+
+
+class TestMigrationParity:
+    """Registry construction == the old hand-wired construction."""
+
+    def test_yarn(self):
+        pol = make_policy("yarn")
+        assert type(pol) is YarnRecoveryPolicy
+
+    def test_alg(self):
+        pol = make_policy("alg", alg_frequency=7.5,
+                          alg_level=ReplicationLevel.NODE)
+        ref = ALMPolicy(ALMConfig(enable_alg=True, enable_sfm=False,
+                                  alg=ALGConfig(frequency=7.5,
+                                                level=ReplicationLevel.NODE)))
+        assert type(pol) is type(ref)
+        assert pol.config == ref.config
+
+    def test_sfm(self):
+        pol = make_policy("sfm", fcm_cap=6)
+        ref = ALMPolicy(ALMConfig(enable_alg=False, enable_sfm=True,
+                                  fcm_cap=6))
+        assert pol.config == ref.config
+
+    def test_alm(self):
+        pol = make_policy("alm")
+        ref = ALMPolicy(ALMConfig(alg=ALGConfig(), fcm_cap=10))
+        assert pol.config == ref.config
+        assert pol.config.enable_alg and pol.config.enable_sfm
+
+    def test_iss(self):
+        assert type(make_policy("iss")) is ISSPolicy
+
+    def test_irrelevant_knobs_ignored(self):
+        """The shared kwargs namespace never leaks into a factory that
+        doesn't declare the knob (the historical contract)."""
+        assert type(make_policy("yarn", fcm_cap=3)) is YarnRecoveryPolicy
+        assert type(make_policy("iss", alg_frequency=1.0)) is ISSPolicy
+
+
+class TestBinocular:
+    def _reduce_fail_run(self):
+        rt = make_runtime(tiny_workload(reducers=2, input_mb=1024),
+                          policy=BinocularPolicy())
+        kill_reduce_at_progress(0.4).install(rt)
+        return rt, rt.run()
+
+    def test_dual_attempts_on_reduce_failure(self):
+        rt, res = self._reduce_fail_run()
+        assert res.success
+        assert rt.trace.count("binocular_dual") >= 1
+        # The failed reduce got (at least) two recovery attempts: the
+        # anchor relaunch plus the migrated speculative eye.
+        failed = [t for t in rt.am.reduce_tasks
+                  if any(a.state.name == "FAILED" for a in t.attempts)]
+        assert failed and len(failed[0].attempts) >= 3
+
+    def test_eyes_share_recovery_state(self):
+        rt, res = self._reduce_fail_run()
+        failed = next(t for t in rt.am.reduce_tasks
+                      if any(a.state.name == "FAILED" for a in t.attempts))
+        dead = next(a for a in failed.attempts if a.state.name == "FAILED")
+        recoveries = [a.recovery for a in failed.attempts
+                      if a is not dead and a.recovery is not None]
+        assert len(recoveries) >= 2
+        # Same shared snapshot object handed to both eyes.
+        assert recoveries[0] is recoveries[1]
+        assert recoveries[0].fetched_map_ids == set(dead.fetched)
+
+    def test_anchor_eye_adopts_local_state(self):
+        rt, res = self._reduce_fail_run()
+        failed = next(t for t in rt.am.reduce_tasks
+                      if any(a.state.name == "FAILED" for a in t.attempts))
+        dead = next(a for a in failed.attempts if a.state.name == "FAILED")
+        adopted = [a for a in failed.attempts
+                   if a is not dead and a.node is dead.node
+                   and a.fetched >= set(dead.fetched)]
+        # The transient failure left the node healthy: the same-node eye
+        # re-adopted the dead attempt's shuffle progress.
+        if dead.fetched and dead.disk_segments:
+            assert adopted
+
+    def test_node_loss_dual_fresh(self):
+        rt = make_runtime(tiny_workload(reducers=2, input_mb=1024),
+                          policy=BinocularPolicy())
+        kill_node_at_progress(0.4, target="reducer").install(rt)
+        res = rt.run()
+        assert res.success
+        assert rt.trace.count("binocular_dual") >= 1
+
+    def test_not_worse_than_yarn_on_node_crash(self):
+        def crashed(policy):
+            rt = make_runtime(tiny_workload(reducers=2, input_mb=1024),
+                              policy=policy)
+            kill_node_at_progress(0.3, target="reducer").install(rt)
+            return rt.run()
+
+        t_yarn = crashed(YarnRecoveryPolicy()).elapsed
+        t_bino = crashed(BinocularPolicy()).elapsed
+        assert t_bino <= t_yarn * 1.02
+
+
+class TestAtlas:
+    def test_failure_score_math(self):
+        pol = AtlasPolicy(window=4, min_observations=3, failure_threshold=0.5)
+
+        class _Node:
+            node_id = 5
+
+        class _Attempt:
+            node = _Node()
+
+        assert pol.failure_score(5) == 0.0  # no history: innocent
+        pol.on_attempt_outcome(_Attempt(), ok=False)
+        pol.on_attempt_outcome(_Attempt(), ok=False)
+        assert pol.failure_score(5) == 0.0  # below min_observations
+        pol.on_attempt_outcome(_Attempt(), ok=True)
+        assert pol.failure_score(5) == pytest.approx(2 / 3)
+        # The window slides: a fourth and fifth outcome evict the oldest.
+        pol.on_attempt_outcome(_Attempt(), ok=True)
+        pol.on_attempt_outcome(_Attempt(), ok=True)
+        assert pol.failure_score(5) == pytest.approx(1 / 4)
+
+    def test_config_validation(self):
+        with pytest.raises(SimulationError):
+            AtlasPolicy(window=0)
+        with pytest.raises(SimulationError):
+            AtlasPolicy(failure_threshold=1.5)
+
+    def test_steers_away_after_induced_failures(self):
+        # A tight window so a single OOM marks its node risky, making
+        # the recovery placement's steer deterministic.
+        rt = make_runtime(tiny_workload(reducers=2, input_mb=1024),
+                          policy=AtlasPolicy(window=2, min_observations=1,
+                                             failure_threshold=0.5))
+        TaskFault(task_index=0, at_progress=0.3, repeat=3).install(rt)
+        res = rt.run()
+        assert res.success
+        assert rt.trace.count("atlas_steer") >= 1
+
+    def test_never_vetoes_whole_cluster(self):
+        pol = AtlasPolicy(min_observations=1, failure_threshold=0.1)
+        rt = make_runtime(tiny_workload(reducers=2), policy=pol)
+        # Poison every node's history before the run.
+        for node in rt.cluster.nodes:
+            history = pol.node_outcomes.setdefault(
+                node.node_id, deque(maxlen=pol.window))
+            history.append(False)
+        res = rt.run()
+        assert res.success  # the all-risky guard kept the job schedulable
+
+    def test_rejoin_amnesty(self):
+        pol = AtlasPolicy(min_observations=1)
+        rt = make_runtime(tiny_workload(), policy=pol)
+        node = rt.cluster.nodes[3]
+        pol.node_outcomes.setdefault(
+            3, deque(maxlen=pol.window)).append(False)
+        assert pol.failure_score(3) == 1.0
+        pol.on_node_rejoined(node)
+        assert pol.failure_score(3) == 0.0
+
+
+class TestQuantile:
+    def test_quantile_hand_computed(self):
+        values = [1.0, 2.0, 3.0, 4.0]
+        assert quantile(values, 0.0) == 1.0
+        assert quantile(values, 1.0) == 4.0
+        assert quantile(values, 0.5) == pytest.approx(2.5)
+        assert quantile(values, 0.25) == pytest.approx(1.75)
+        assert quantile(values, 0.75) == pytest.approx(3.25)
+        assert quantile([7.0], 0.5) == 7.0
+        with pytest.raises(SimulationError):
+            quantile([], 0.5)
+        with pytest.raises(SimulationError):
+            quantile([1.0], 2.0)
+
+    def test_tukey_fence_hand_computed(self):
+        values = [1.0, 2.0, 3.0, 4.0]
+        # q1=1.75, q3=3.25, iqr=1.5 -> fence = 3.25 + 1.5*1.5 = 5.5
+        assert tukey_fence(values) == pytest.approx(5.5)
+        assert tukey_fence(values, k=3.0) == pytest.approx(7.75)
+
+    def test_fence_robust_to_one_outlier(self):
+        """The point of the quantile model: one exploding estimate must
+        not drag the cutoff up with it, unlike a mean-based threshold."""
+        tight = [10.0, 11.0, 12.0, 13.0]
+        with_outlier = tight + [500.0]
+        assert tukey_fence(with_outlier) < 30.0
+
+    def test_cutoff_below_min_samples_is_none(self):
+        spec = QuantileSpeculator(am=None, min_samples=4)
+        assert spec._cutoff([], []) is None
+        assert spec._cutoff([(10.0, None), (11.0, None)], [9.0]) is None
+
+    def test_cutoff_prefers_completed(self):
+        spec = QuantileSpeculator(am=None, min_samples=4)
+        completed = [10.0, 11.0, 12.0, 13.0]
+        cutoff, benchmark = spec._cutoff([(99.0, None)], completed)
+        assert cutoff == pytest.approx(tukey_fence(completed))
+        assert benchmark == pytest.approx(11.5)
+
+    def test_policy_swaps_in_speculator(self):
+        rt = make_runtime(tiny_workload(),
+                          policy=QuantilePolicy(min_samples=3, fence_k=2.0),
+                          speculation=True)
+        assert isinstance(rt.speculator, QuantileSpeculator)
+        assert rt.speculator.min_samples == 3
+        assert rt.speculator.fence_k == 2.0
+        assert rt.run().success
+
+    def test_min_samples_validated(self):
+        with pytest.raises(SimulationError):
+            QuantileSpeculator(am=None, min_samples=1)
+
+
+class TestM3R:
+    def test_reduce_attempts_never_spill(self):
+        rt = make_runtime(tiny_workload(reducers=2, input_mb=2048),
+                          policy=M3RPolicy())
+        res = rt.run()
+        assert res.success
+        for task in rt.am.reduce_tasks:
+            for attempt in task.attempts:
+                assert isinstance(attempt, M3RReduceAttempt)
+                assert attempt.disk_segments == []
+
+    def test_fault_free_no_slower_than_yarn(self):
+        wl = lambda: tiny_workload(reducers=2, input_mb=2048)
+        t_yarn = make_runtime(wl()).run().elapsed
+        t_m3r = make_runtime(wl(), policy=M3RPolicy()).run().elapsed
+        assert t_m3r <= t_yarn
+
+    def test_eager_regeneration_on_node_loss(self):
+        # Short liveness so the RM declares the node lost while the job
+        # is still shuffling (before fetch-failure reports would have
+        # re-run the doomed maps the stock way).
+        rt = make_runtime(tiny_workload(reducers=2, input_mb=2048),
+                          policy=M3RPolicy(),
+                          yarn_config=YarnConfig(nm_liveness_timeout=5.0))
+        kill_node_at_progress(0.3, target="map-only").install(rt)
+        res = rt.run()
+        assert res.success
+        assert rt.trace.count("m3r_regenerate") == 1
+        # Every completed map on the dead node was re-run eagerly,
+        # without waiting for per-reducer fetch-failure reports.
+        assert res.counters.get("map_reruns", 0) >= 1
+
+    def test_recovery_tradeoff_vs_yarn(self):
+        """M3R discovers the loss instantly but re-runs more maps than
+        stock YARN needs to (the in-memory recovery-cost trade)."""
+        def crashed(policy):
+            rt = make_runtime(tiny_workload(reducers=2, input_mb=2048),
+                              policy=policy,
+                              yarn_config=YarnConfig(nm_liveness_timeout=5.0))
+            kill_node_at_progress(0.3, target="map-only").install(rt)
+            return rt, rt.run()
+
+        _, yarn_res = crashed(YarnRecoveryPolicy())
+        m3r_rt, m3r_res = crashed(M3RPolicy())
+        assert m3r_res.success
+        assert (m3r_res.counters.get("map_reruns", 0)
+                >= yarn_res.counters.get("map_reruns", 0))
